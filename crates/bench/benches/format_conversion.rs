@@ -1,0 +1,60 @@
+//! Host-side cost of device-format construction (Algorithm 1's "convert the
+//! forest format" step): dense vs sparse, adaptive vs traditional encoding,
+//! and the byte-image encode pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tahoe::format::{DeviceForest, FormatConfig, LayoutPlan, StorageMode};
+use tahoe_datasets::{DatasetSpec, Scale};
+use tahoe_forest::{train_for_spec, Forest};
+use tahoe_gpu_sim::memory::DeviceMemory;
+
+fn trained(name: &str) -> Forest {
+    let spec = DatasetSpec::by_name(name).expect("known dataset");
+    let data = spec.generate(Scale::Smoke);
+    let (train, _) = data.split_train_infer();
+    train_for_spec(&spec, &train, Scale::Smoke)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_forest_build");
+    for (label, mode) in [("dense", StorageMode::Dense), ("sparse", StorageMode::Sparse)] {
+        let forest = trained("susy");
+        let plan = LayoutPlan::identity(&forest);
+        let config = FormatConfig {
+            varlen_attr: true,
+            mode: Some(mode),
+        };
+        group.bench_with_input(BenchmarkId::new(label, forest.n_trees()), &forest, |b, f| {
+            b.iter(|| {
+                let mut mem = DeviceMemory::new();
+                DeviceForest::build(f, &plan, config, &mut mem)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_image(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_image");
+    for (label, config) in [
+        ("adaptive", FormatConfig::adaptive()),
+        ("traditional", FormatConfig::traditional()),
+    ] {
+        let forest = trained("higgs");
+        let plan = LayoutPlan::identity(&forest);
+        let mut mem = DeviceMemory::new();
+        let df = DeviceForest::build(&forest, &plan, config, &mut mem);
+        group.bench_function(label, |b| {
+            b.iter(|| df.encode_image());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_encode_image
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Host-side cost of the rearrangement pipeline (paper §7.4's CPU part):
+//! tokenization + SimHash + LSH vs the brute-force pairwise baseline, and
+//! node-swap planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tahoe::rearrange::{adaptive_plan, node_swap, pairwise, similarity_order, SimilarityParams};
+use tahoe_datasets::{DatasetSpec, Scale};
+use tahoe_forest::{train_for_spec, Forest};
+
+fn trained(name: &str) -> Forest {
+    let spec = DatasetSpec::by_name(name).expect("known dataset");
+    let data = spec.generate(Scale::Smoke);
+    let (train, _) = data.split_train_infer();
+    train_for_spec(&spec, &train, Scale::Smoke)
+}
+
+fn bench_similarity_pipeline(c: &mut Criterion) {
+    let forest = trained("higgs"); // 40 trees at Smoke scale.
+    let params = SimilarityParams::default();
+    let mut group = c.benchmark_group("similarity_order");
+    for n in [10usize, 20, 40] {
+        let sub = forest.truncated(n);
+        group.bench_with_input(BenchmarkId::new("simhash_lsh", n), &sub, |b, f| {
+            b.iter(|| similarity_order(f, &params));
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &sub, |b, f| {
+            b.iter(|| pairwise::brute_force_order(f));
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_swap(c: &mut Criterion) {
+    let forest = trained("letter");
+    c.bench_function("node_swap_plan", |b| {
+        b.iter(|| node_swap::forest_swaps(&forest));
+    });
+}
+
+fn bench_adaptive_plan(c: &mut Criterion) {
+    let forest = trained("susy");
+    let params = SimilarityParams::default();
+    c.bench_function("adaptive_plan_full", |b| {
+        b.iter(|| adaptive_plan(&forest, &params));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_similarity_pipeline, bench_node_swap, bench_adaptive_plan
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Host-side cost of the simulated strategy kernels (how fast the simulator
+//! itself runs — the reproduction's analogue of kernel micro-benchmarks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tahoe::strategy::{self, Strategy};
+use tahoe_datasets::{DatasetSpec, Scale, SampleMatrix};
+use tahoe_forest::train_for_spec;
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::kernel::Detail;
+use tahoe_gpu_sim::memory::DeviceMemory;
+
+struct Fixture {
+    device: DeviceSpec,
+    forest: tahoe::format::DeviceForest,
+    samples: SampleMatrix,
+    buf: tahoe_gpu_sim::GlobalBuffer,
+}
+
+fn fixture() -> Fixture {
+    let spec = DatasetSpec::by_name("letter").expect("known dataset");
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    let host = train_for_spec(&spec, &train, Scale::Smoke);
+    let plan = tahoe::rearrange::adaptive_plan(&host, &Default::default());
+    let mut mem = DeviceMemory::new();
+    let forest = tahoe::format::DeviceForest::build(
+        &host,
+        &plan,
+        tahoe::format::FormatConfig::adaptive(),
+        &mut mem,
+    );
+    let samples = infer.samples;
+    let buf = mem.alloc((samples.n_samples() * samples.n_attributes() * 4) as u64);
+    Fixture {
+        device: DeviceSpec::tesla_p100(),
+        forest,
+        samples,
+        buf,
+    }
+}
+
+fn bench_strategy_simulation(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("simulate_strategy");
+    for s in Strategy::ALL {
+        let ctx = strategy::LaunchContext {
+            device: &fx.device,
+            forest: &fx.forest,
+            samples: &fx.samples,
+            sample_buf: fx.buf,
+            detail: Detail::Sampled(8),
+            block_threads: 256,
+        };
+        if strategy::geometry(s, &ctx).is_none() {
+            continue;
+        }
+        group.bench_function(s.name().replace(' ', "_"), |b| {
+            b.iter(|| strategy::run(s, &ctx).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_predict(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("device_forest_predict_batch", |b| {
+        b.iter(|| fx.forest.predict_batch(&fx.samples));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_strategy_simulation, bench_functional_predict
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs the reproduction's ablation studies (DESIGN.md Sec. 4).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::ablations::run(&env);
+    tahoe_bench::experiments::ablations::report(&result);
+}

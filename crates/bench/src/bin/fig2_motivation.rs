@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 2 (motivation: coalescing decay, reduction
+//! share, thread imbalance).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::motivation::run(&env);
+    tahoe_bench::experiments::motivation::report(&result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 5 (four strategies x 15 datasets on P100).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::strategies::run_fig5(&env);
+    tahoe_bench::experiments::strategies::report_fig5(&result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 6 (strategy crossover vs batch size).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::strategies::run_fig6(&env);
+    tahoe_bench::experiments::strategies::report_fig6(&result);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 7 (Tahoe vs FIL, 15 datasets x 3 GPUs x 2
+//! batch regimes).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::overall::run(&env);
+    tahoe_bench::experiments::overall::report_fig7(&result);
+}

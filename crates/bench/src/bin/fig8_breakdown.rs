@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 8 (per-technique contribution breakdown).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::breakdown::run(&env);
+    tahoe_bench::experiments::breakdown::report(&result);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 9 (strong scaling on 1-128 V100s) and the
+//! Sec. 7.5 weak-scaling check.
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::scaling::run(&env);
+    tahoe_bench::experiments::scaling::report(&result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Sec. 7.3's memory-coalescence quantification.
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::coalescing::run(&env);
+    tahoe_bench::experiments::coalescing::report(&result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Sec. 7.3's performance-model accuracy study.
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::model_accuracy::run(&env);
+    tahoe_bench::experiments::model_accuracy::report(&result);
+}

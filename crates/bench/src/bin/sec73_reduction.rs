@@ -1,0 +1,7 @@
+//! Regenerates Sec. 7.3's blockwise-reduction removal census.
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::reduction_census::run(&env);
+    tahoe_bench::experiments::reduction_census::report(&result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 3 (A.C.V. thread imbalance, FIL vs Tahoe).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::overall::run(&env);
+    tahoe_bench::experiments::overall::report_table3(&result);
+}

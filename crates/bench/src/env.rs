@@ -1,0 +1,99 @@
+//! Experiment environment: CLI flags shared by every binary.
+
+use tahoe_datasets::Scale;
+use tahoe_gpu_sim::kernel::Detail;
+
+/// Parsed experiment flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Env {
+    /// Dataset/forest scale (`--scale paper|ci|smoke`, default `ci`).
+    pub scale: Scale,
+    /// Blocks simulated in detail per kernel (`--detail N|full`, default 32).
+    pub detail: Detail,
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Ci,
+            detail: Detail::Sampled(32),
+        }
+    }
+}
+
+impl Env {
+    /// Parses process arguments; unknown flags abort with usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage) on malformed flags.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage) on malformed flags.
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut env = Env::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_else(|| usage("missing value for --scale"));
+                    env.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
+                }
+                "--detail" => {
+                    let v = it.next().unwrap_or_else(|| usage("missing value for --detail"));
+                    env.detail = if v.eq_ignore_ascii_case("full") {
+                        Detail::Full
+                    } else {
+                        let n: usize = v
+                            .parse()
+                            .unwrap_or_else(|_| usage(&format!("bad detail '{v}'")));
+                        Detail::Sampled(n.max(1))
+                    };
+                }
+                "--help" | "-h" => usage("usage"),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        env
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: <experiment> [--scale paper|ci|smoke] [--detail N|full]");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Env {
+        Env::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn defaults() {
+        let e = parse(&[]);
+        assert_eq!(e.scale, Scale::Ci);
+        assert_eq!(e.detail, Detail::Sampled(32));
+    }
+
+    #[test]
+    fn scale_and_detail_flags() {
+        let e = parse(&["--scale", "smoke", "--detail", "8"]);
+        assert_eq!(e.scale, Scale::Smoke);
+        assert_eq!(e.detail, Detail::Sampled(8));
+        let e = parse(&["--detail", "full"]);
+        assert_eq!(e.detail, Detail::Full);
+    }
+}

@@ -1,0 +1,148 @@
+//! §7.3 "Quantifying the effectiveness of performance models" — does the
+//! model pick the strategy the simulator says is fastest, and how much is
+//! lost when it does not?
+
+use serde::Serialize;
+
+use tahoe::engine::Engine;
+use tahoe::strategy::Strategy;
+use tahoe_gpu_sim::metrics::geomean;
+
+use crate::data::{batch_of, prepare_all};
+use crate::env::Env;
+use crate::experiments::{devices, tahoe_opts, HIGH_BATCH, LOW_BATCH};
+use crate::report::{f2, write_json, Table};
+
+/// One (dataset, device, regime) comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Device name.
+    pub device: String,
+    /// `true` for the 100 K batch.
+    pub high_parallelism: bool,
+    /// Strategy the model chose.
+    pub predicted_best: Strategy,
+    /// Strategy that was actually fastest in the simulator.
+    pub actual_best: Strategy,
+    /// Simulated time with the model's choice (ns).
+    pub chosen_ns: f64,
+    /// Simulated time of the true optimum (ns).
+    pub optimal_ns: f64,
+}
+
+impl AccuracyRow {
+    /// Whether the model picked the true optimum.
+    #[must_use]
+    pub fn correct(&self) -> bool {
+        self.predicted_best == self.actual_best
+    }
+}
+
+/// §7.3 model-accuracy record.
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyResult {
+    /// Every comparison.
+    pub rows: Vec<AccuracyRow>,
+}
+
+impl AccuracyResult {
+    /// `(correct, total)` top-choice accuracy.
+    #[must_use]
+    pub fn correct_count(&self) -> (usize, usize) {
+        (
+            self.rows.iter().filter(|r| r.correct()).count(),
+            self.rows.len(),
+        )
+    }
+
+    /// Geomean ratio `chosen / optimal` over incorrect cases (1.0 = no loss).
+    #[must_use]
+    pub fn loss_when_wrong(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| !r.correct())
+            .map(|r| r.chosen_ns / r.optimal_ns)
+            .collect();
+        if ratios.is_empty() {
+            1.0
+        } else {
+            geomean(&ratios)
+        }
+    }
+}
+
+/// Runs the model-accuracy matrix.
+#[must_use]
+pub fn run(env: &Env) -> AccuracyResult {
+    let prepared = prepare_all(env.scale);
+    let mut rows = Vec::new();
+    for p in &prepared {
+        for device in devices() {
+            let mut engine = Engine::new(device.clone(), p.forest.clone(), tahoe_opts(env));
+            for (high, size) in [(true, HIGH_BATCH), (false, LOW_BATCH)] {
+                let batch = batch_of(&p.infer, size);
+                // Model choice (and its simulated time).
+                let chosen = engine.infer(&batch);
+                // True optimum: simulate every feasible strategy.
+                let mut best: Option<(f64, Strategy)> = None;
+                let mut chosen_ns = chosen.run.kernel.total_ns;
+                for s in Strategy::ALL {
+                    if !engine.feasible(s, &batch) {
+                        continue;
+                    }
+                    let ns = if s == chosen.strategy {
+                        chosen.run.kernel.total_ns
+                    } else {
+                        engine.infer_with(&batch, Some(s)).run.kernel.total_ns
+                    };
+                    if s == chosen.strategy {
+                        chosen_ns = ns;
+                    }
+                    if best.is_none_or(|(bn, _)| ns < bn) {
+                        best = Some((ns, s));
+                    }
+                }
+                let (optimal_ns, actual_best) = best.expect("some strategy always runs");
+                rows.push(AccuracyRow {
+                    dataset: p.spec.name.to_string(),
+                    device: device.name.to_string(),
+                    high_parallelism: high,
+                    predicted_best: chosen.strategy,
+                    actual_best,
+                    chosen_ns,
+                    optimal_ns,
+                });
+            }
+        }
+    }
+    AccuracyResult { rows }
+}
+
+/// Prints the accuracy tables and writes the record.
+pub fn report(result: &AccuracyResult) {
+    let mut t = Table::new(
+        "§7.3 — performance-model accuracy (wrong cases only)",
+        &["dataset", "device", "regime", "predicted", "actual", "slowdown"],
+    );
+    for r in result.rows.iter().filter(|r| !r.correct()) {
+        t.row(vec![
+            r.dataset.clone(),
+            r.device.clone(),
+            if r.high_parallelism { "high" } else { "low" }.to_string(),
+            r.predicted_best.name().to_string(),
+            r.actual_best.name().to_string(),
+            f2(r.chosen_ns / r.optimal_ns),
+        ]);
+    }
+    t.print();
+    let (correct, total) = result.correct_count();
+    println!(
+        "model picked the true optimum in {correct}/{total} cases (paper: 87/90);\n\
+         geomean slowdown when wrong: {:.3}x (paper: near-optimal)",
+        result.loss_when_wrong()
+    );
+    write_json("sec73_model_accuracy", result);
+}

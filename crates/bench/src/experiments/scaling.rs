@@ -1,0 +1,116 @@
+//! Fig. 9 — strong scaling on 1–128 V100s, plus §7.5's weak scaling.
+//!
+//! Strong scaling partitions the inference batch evenly across devices; the
+//! end-to-end time is the slowest device's. Partitions differ in size by at
+//! most one sample, so the largest partition (device 0) determines the time
+//! and is the one simulated. Weak scaling duplicates the dataset per device,
+//! making every device's workload identical; the paper reports < 5 % variance
+//! and near-zero communication.
+
+use serde::Serialize;
+
+use tahoe::engine::Engine;
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::multigpu::partition;
+
+use crate::data::{batch_of, prepare_all};
+use crate::env::Env;
+use crate::experiments::{tahoe_opts, HIGH_BATCH};
+use crate::report::{f2, pct, write_json, Table};
+
+/// Device counts swept (the paper's x-axis).
+pub const GPU_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// One dataset's scaling curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataset id.
+    pub dataset_id: usize,
+    /// Strong-scaling speedup over one GPU, per [`GPU_COUNTS`] entry.
+    pub strong_speedup: Vec<f64>,
+    /// Weak-scaling time variance across device counts (fraction of mean).
+    pub weak_variance: f64,
+}
+
+/// Fig. 9 record.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingResult {
+    /// One row per dataset.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Runs strong + weak scaling on simulated V100s.
+#[must_use]
+pub fn run(env: &Env) -> ScalingResult {
+    let prepared = prepare_all(env.scale);
+    let device = DeviceSpec::tesla_v100();
+    let mut rows = Vec::new();
+    for p in &prepared {
+        let batch = batch_of(&p.infer, HIGH_BATCH);
+        let mut engine = Engine::new(device.clone(), p.forest.clone(), tahoe_opts(env));
+        let mut strong_times = Vec::with_capacity(GPU_COUNTS.len());
+        let mut weak_times = Vec::with_capacity(GPU_COUNTS.len());
+        for &n_gpus in &GPU_COUNTS {
+            // Strong: device 0 holds the largest partition and bounds the run.
+            let parts = partition(batch.n_samples(), n_gpus);
+            let largest = &parts[0];
+            let part: Vec<usize> = largest.clone().collect();
+            if part.is_empty() {
+                strong_times.push(f64::INFINITY);
+            } else {
+                let sub = batch.select(&part);
+                strong_times.push(engine.infer(&sub).run.kernel.total_ns);
+            }
+            // Weak: per-device load is the whole batch (dataset duplicated
+            // N times); every device is identical, no communication.
+            weak_times.push(engine.infer(&batch).run.kernel.total_ns);
+        }
+        let t1 = strong_times[0];
+        let strong_speedup = strong_times.iter().map(|&t| t1 / t).collect();
+        let mean = weak_times.iter().sum::<f64>() / weak_times.len() as f64;
+        let var = weak_times
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / weak_times.len() as f64;
+        rows.push(ScalingRow {
+            dataset: p.spec.name.to_string(),
+            dataset_id: p.spec.id,
+            strong_speedup,
+            weak_variance: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        });
+    }
+    ScalingResult { rows }
+}
+
+/// Prints Fig. 9 and writes the record.
+pub fn report(result: &ScalingResult) {
+    let headers: Vec<String> = ["dataset".to_string()]
+        .into_iter()
+        .chain(GPU_COUNTS.iter().map(|n| format!("{n} GPU")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new("Fig 9 — strong-scaling speedup on V100s", &header_refs);
+    for r in &result.rows {
+        let mut cells = vec![r.dataset.clone()];
+        cells.extend(r.strong_speedup.iter().map(|&s| f2(s)));
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "paper: large datasets scale near-linearly; small datasets (HOCK, gisette,\n\
+         phishing) plateau once per-GPU work stops filling the device"
+    );
+    let mut w = Table::new(
+        "§7.5 — weak-scaling time variance across device counts",
+        &["dataset", "variance"],
+    );
+    for r in &result.rows {
+        w.row(vec![r.dataset.clone(), pct(r.weak_variance)]);
+    }
+    w.print();
+    println!("paper: less than 5% variance");
+    write_json("fig9_scaling", result);
+}

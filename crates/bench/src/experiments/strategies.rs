@@ -1,0 +1,159 @@
+//! Fig. 5 (four strategies × 15 datasets on P100) and Fig. 6 (strategy
+//! crossover vs batch size on Higgs and SVHN).
+
+use serde::Serialize;
+
+use tahoe::engine::Engine;
+use tahoe::strategy::Strategy;
+use tahoe_datasets::Scale;
+use tahoe_gpu_sim::device::DeviceSpec;
+
+use crate::data::{batch_of, prepare, prepare_all, Prepared};
+use crate::env::Env;
+use crate::experiments::{tahoe_opts, HIGH_BATCH};
+use crate::report::{f3, write_json, Table};
+
+/// Throughput of each strategy on one dataset (samples/µs; `None` =
+/// infeasible).
+#[derive(Clone, Debug, Serialize)]
+pub struct StrategyRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-strategy throughput in [`Strategy::ALL`] order.
+    pub throughput: Vec<Option<f64>>,
+    /// Winning strategy.
+    pub winner: Strategy,
+}
+
+/// Fig. 5 record.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Result {
+    /// One row per dataset.
+    pub rows: Vec<StrategyRow>,
+}
+
+/// Measures all feasible strategies for one prepared dataset and batch size.
+#[must_use]
+pub fn strategy_row(env: &Env, p: &Prepared, batch_size: usize) -> StrategyRow {
+    let batch = batch_of(&p.infer, batch_size);
+    let mut engine = Engine::new(
+        DeviceSpec::tesla_p100(),
+        p.forest.clone(),
+        tahoe_opts(env),
+    );
+    let mut throughput = Vec::with_capacity(Strategy::ALL.len());
+    let mut best: Option<(f64, Strategy)> = None;
+    for s in Strategy::ALL {
+        if !engine.feasible(s, &batch) {
+            throughput.push(None);
+            continue;
+        }
+        let r = engine.infer_with(&batch, Some(s));
+        let t = r.run.throughput_samples_per_us();
+        if best.is_none_or(|(bt, _)| t > bt) {
+            best = Some((t, s));
+        }
+        throughput.push(Some(t));
+    }
+    StrategyRow {
+        dataset: p.spec.name.to_string(),
+        throughput,
+        winner: best.expect("at least shared data ran").1,
+    }
+}
+
+/// Runs Fig. 5: high-parallelism batch, all 15 datasets, P100.
+#[must_use]
+pub fn run_fig5(env: &Env) -> Fig5Result {
+    let prepared = prepare_all(env.scale);
+    let rows = prepared
+        .iter()
+        .map(|p| strategy_row(env, p, HIGH_BATCH))
+        .collect();
+    Fig5Result { rows }
+}
+
+/// Prints Fig. 5 and writes its record.
+pub fn report_fig5(result: &Fig5Result) {
+    let mut t = Table::new(
+        "Fig 5 — strategy throughput (samples/us), batch 100K, P100",
+        &["dataset", "shared data", "direct", "shared forest", "splitting", "winner"],
+    );
+    for row in &result.rows {
+        let mut cells = vec![row.dataset.clone()];
+        for v in &row.throughput {
+            cells.push(v.map_or("-".to_string(), f3));
+        }
+        cells.push(row.winner.name().to_string());
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "paper: shared-data wins allstate/covtype/cup98/year; direct wins SVHN/gisette;\n\
+         shared-forest wins HOCK/cifar10/ijcnn1/phishing/letter; splitting wins Higgs/SUSY/hepmass/aloi"
+    );
+    write_json("fig5_strategies", result);
+}
+
+/// One (dataset, batch) row of Fig. 6.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Batch size requested.
+    pub batch: usize,
+    /// Per-strategy throughput in [`Strategy::ALL`] order.
+    pub throughput: Vec<Option<f64>>,
+    /// Winning strategy.
+    pub winner: Strategy,
+}
+
+/// Fig. 6 record.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Result {
+    /// One row per (dataset, batch size).
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Runs Fig. 6: batch-size sweep on Higgs and SVHN.
+#[must_use]
+pub fn run_fig6(env: &Env) -> Fig6Result {
+    let mut rows = Vec::new();
+    for name in ["higgs", "svhn"] {
+        let spec = tahoe_datasets::DatasetSpec::by_name(name).expect("known dataset");
+        let p = prepare(&spec, env.scale);
+        for batch in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+            // Smoke scale keeps mega-batches affordable by capping memory.
+            if env.scale == Scale::Smoke && batch > 10_000 {
+                continue;
+            }
+            let row = strategy_row(env, &p, batch);
+            rows.push(Fig6Row {
+                dataset: row.dataset,
+                batch,
+                throughput: row.throughput,
+                winner: row.winner,
+            });
+        }
+    }
+    Fig6Result { rows }
+}
+
+/// Prints Fig. 6 and writes its record.
+pub fn report_fig6(result: &Fig6Result) {
+    let mut t = Table::new(
+        "Fig 6 — strategy throughput (samples/us) vs batch size, P100",
+        &["dataset", "batch", "shared data", "direct", "shared forest", "splitting", "winner"],
+    );
+    for row in &result.rows {
+        let mut cells = vec![row.dataset.clone(), row.batch.to_string()];
+        for v in &row.throughput {
+            cells.push(v.map_or("-".to_string(), f3));
+        }
+        cells.push(row.winner.name().to_string());
+        t.row(cells);
+    }
+    t.print();
+    println!("paper: on Higgs, shared-data wins below ~10K, splitting wins above");
+    write_json("fig6_batch_size", result);
+}

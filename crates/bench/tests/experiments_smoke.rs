@@ -1,0 +1,69 @@
+//! Smoke tests: every experiment must run end-to-end at Smoke scale and
+//! produce structurally sane results. (Full-scale numbers are checked by the
+//! `all` binary and recorded in EXPERIMENTS.md.)
+
+use tahoe_bench::env::Env;
+use tahoe_bench::experiments;
+use tahoe_datasets::Scale;
+use tahoe_gpu_sim::kernel::Detail;
+
+fn smoke_env() -> Env {
+    Env {
+        scale: Scale::Smoke,
+        detail: Detail::Sampled(2),
+    }
+}
+
+#[test]
+fn motivation_runs_and_shows_decay() {
+    let r = experiments::motivation::run(&smoke_env());
+    assert!(!r.levels.is_empty());
+    assert!(r.overall_efficiency > 0.0 && r.overall_efficiency <= 1.0);
+    assert!(!r.reduction.is_empty());
+    for row in &r.reduction {
+        assert!(row.reduction_fraction > 0.0 && row.reduction_fraction < 1.0);
+    }
+    assert!(r.thread_cv > 0.0);
+    // Distance grows from the first to the last level.
+    let first = r.levels.first().unwrap();
+    let last = r.levels.last().unwrap();
+    assert!(last.distance > first.distance);
+}
+
+#[test]
+fn strategy_row_covers_feasible_strategies() {
+    let spec = tahoe_datasets::DatasetSpec::by_name("letter").unwrap();
+    let p = tahoe_bench::prepare(&spec, Scale::Smoke);
+    let row = experiments::strategies::strategy_row(&smoke_env(), &p, 500);
+    assert_eq!(row.throughput.len(), 4);
+    // Letter's small forest makes all four feasible.
+    assert!(row.throughput.iter().all(Option::is_some));
+    for t in row.throughput.iter().flatten() {
+        assert!(*t > 0.0);
+    }
+}
+
+#[test]
+fn ablations_run_at_smoke_scale() {
+    let r = experiments::ablations::run(&smoke_env());
+    assert!(r.weighted_order_score >= 0.0);
+    assert!(r.training_prob_speedup > 0.0);
+    assert!(r.oracle_prob_speedup > 0.0);
+    assert!(r.sampling_error >= 0.0 && r.sampling_error < 1.0);
+    assert!(r.infinite_sm_speedup > 0.0);
+    assert!(r.varlen_speedup > 0.5);
+}
+
+#[test]
+fn forest_read_efficiency_is_bounded() {
+    let spec = tahoe_datasets::DatasetSpec::by_name("ijcnn1").unwrap();
+    let p = tahoe_bench::prepare(&spec, Scale::Smoke);
+    let batch = tahoe_bench::batch_of(&p.infer, 400);
+    let mut engine = tahoe::engine::Engine::fil(
+        tahoe_gpu_sim::device::DeviceSpec::tesla_p100(),
+        p.forest.clone(),
+    );
+    let r = engine.infer(&batch);
+    let eff = experiments::coalescing::forest_read_efficiency(&r.run.kernel);
+    assert!(eff > 0.0 && eff <= 1.0, "efficiency {eff}");
+}

@@ -1,0 +1,112 @@
+//! Gaussian-cluster classification generator (Higgs/SUSY/hepmass-style).
+
+use super::GenRng;
+use rand::Rng;
+
+use super::std_normal;
+use crate::matrix::{Dataset, SampleMatrix};
+use crate::spec::DatasetSpec;
+
+/// Clusters per class; many modes per class produce trees whose branches have
+/// visibly unequal traversal probabilities (the data property the paper's
+/// probability-based node rearrangement exploits) and keep split gains
+/// positive deep into the tree, so forests actually use their depth budget.
+const CLUSTERS_PER_CLASS: usize = 8;
+
+/// Fraction of labels flipped after generation. Real tabular datasets are not
+/// separable; the noise floor lets depth-limited trees keep finding small
+/// (over-fitting) gains at depth, as the paper's XGBoost forests do.
+const LABEL_NOISE: f64 = 0.05;
+
+/// Generates `n` samples of a two-class Gaussian mixture.
+pub(super) fn generate(spec: &DatasetSpec, n: usize, rng: &mut GenRng) -> Dataset {
+    let d = spec.n_attributes;
+    // Class priors are deliberately skewed (65/35) so that even root-level
+    // branches have unequal edge probabilities.
+    let class1_prior = 0.35;
+    let mut means = Vec::with_capacity(2 * CLUSTERS_PER_CLASS);
+    for _ in 0..2 * CLUSTERS_PER_CLASS {
+        let mean: Vec<f32> = (0..d).map(|_| 2.0 * std_normal(rng)).collect();
+        means.push(mean);
+    }
+    // Cluster weights within a class are skewed geometrically (1/2, 1/4, ...),
+    // again to induce non-uniform node probabilities.
+    let mut values = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = usize::from(rng.gen_bool(class1_prior));
+        let cluster = pick_geometric(rng, CLUSTERS_PER_CLASS);
+        let mean = &means[class * CLUSTERS_PER_CLASS + cluster];
+        for &m in mean.iter() {
+            values.push(m + std_normal(rng));
+        }
+        let noisy = rng.gen_bool(LABEL_NOISE);
+        labels.push(if noisy { (1 - class) as f32 } else { class as f32 });
+    }
+    Dataset::new(spec.name, SampleMatrix::from_vec(n, d, values), labels)
+}
+
+/// Picks index `i` in `0..k` with probability proportional to `2^-(i+1)`
+/// (the remainder mass folds into the last index).
+fn pick_geometric(rng: &mut GenRng, k: usize) -> usize {
+    for i in 0..k - 1 {
+        if rng.gen_bool(0.5) {
+            return i;
+        }
+    }
+    k - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_prior_is_skewed() {
+        let spec = DatasetSpec::by_name("susy").unwrap();
+        let mut rng = GenRng::seed_from_u64(9);
+        let d = generate(&spec, 4_000, &mut rng);
+        let pos = d.labels.iter().filter(|&&l| l == 1.0).count() as f64 / 4_000.0;
+        assert!((pos - 0.35).abs() < 0.05, "positive rate {pos}");
+    }
+
+    #[test]
+    fn pick_geometric_prefers_low_indices() {
+        let mut rng = GenRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[pick_geometric(&mut rng, 3)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn classes_are_separable_on_average() {
+        // Means differ between classes, so a simple per-attribute mean gap
+        // must exist somewhere; otherwise trees trained on this data would be
+        // trivial and edge probabilities uniform.
+        let spec = DatasetSpec::by_name("higgs").unwrap();
+        let mut rng = GenRng::seed_from_u64(11);
+        let d = generate(&spec, 2_000, &mut rng);
+        let attrs = d.samples.n_attributes();
+        let mut best_gap = 0.0f32;
+        for a in 0..attrs {
+            let (mut s0, mut c0, mut s1, mut c1) = (0.0f32, 0usize, 0.0f32, 0usize);
+            for i in 0..d.len() {
+                let v = d.samples.get(i, a);
+                if d.labels[i] == 0.0 {
+                    s0 += v;
+                    c0 += 1;
+                } else {
+                    s1 += v;
+                    c1 += 1;
+                }
+            }
+            let gap = (s0 / c0 as f32 - s1 / c1 as f32).abs();
+            best_gap = best_gap.max(gap);
+        }
+        assert!(best_gap > 0.5, "best class gap {best_gap} too small");
+    }
+}

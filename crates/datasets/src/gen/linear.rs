@@ -1,0 +1,77 @@
+//! Piecewise-linear regression generator (allstate / cup98 / year-style).
+
+use super::GenRng;
+use rand::Rng;
+
+use super::std_normal;
+use crate::matrix::{Dataset, SampleMatrix};
+use crate::spec::DatasetSpec;
+
+/// Number of regions in the piecewise-linear target function.
+const REGIONS: usize = 4;
+
+/// Generates `n` regression samples: dense Gaussian-ish attributes, target a
+/// piecewise-linear function of a sparse coefficient vector plus noise.
+pub(super) fn generate(spec: &DatasetSpec, n: usize, rng: &mut GenRng) -> Dataset {
+    let d = spec.n_attributes;
+    let region_attr = rng.gen_range(0..d);
+    // Region boundaries are skewed (non-uniform quantiles) so the trained
+    // trees route unequal sample mass down each branch.
+    let boundaries = [-0.8f32, 0.0, 1.0];
+    // Each region has its own sparse linear model over ~10 attributes.
+    let n_coef = 10.min(d);
+    let mut region_models = Vec::with_capacity(REGIONS);
+    for _ in 0..REGIONS {
+        let model: Vec<(usize, f32)> = (0..n_coef)
+            .map(|_| (rng.gen_range(0..d), 2.0 * std_normal(rng)))
+            .collect();
+        region_models.push(model);
+    }
+    let mut values = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = values.len();
+        for _ in 0..d {
+            values.push(std_normal(rng));
+        }
+        let row = &values[start..start + d];
+        let pivot = row[region_attr];
+        let region = boundaries.iter().filter(|&&b| pivot > b).count();
+        let model = &region_models[region];
+        let mut y = region as f32 * 3.0;
+        for &(attr, coef) in model {
+            y += coef * row[attr];
+        }
+        y += 0.3 * std_normal(rng);
+        labels.push(y);
+    }
+    Dataset::new(spec.name, SampleMatrix::from_vec(n, d, values), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_are_continuous() {
+        let spec = DatasetSpec::by_name("year").unwrap();
+        let mut rng = GenRng::seed_from_u64(3);
+        let d = generate(&spec, 500, &mut rng);
+        let distinct: std::collections::BTreeSet<u64> =
+            d.labels.iter().map(|l| l.to_bits() as u64).collect();
+        assert!(distinct.len() > 400, "labels look discrete: {}", distinct.len());
+    }
+
+    #[test]
+    fn labels_have_signal_beyond_noise() {
+        let spec = DatasetSpec::by_name("allstate").unwrap();
+        let mut rng = GenRng::seed_from_u64(13);
+        let d = generate(&spec, 1_000, &mut rng);
+        let mean: f32 = d.labels.iter().sum::<f32>() / d.labels.len() as f32;
+        let var: f32 = d.labels.iter().map(|l| (l - mean) * (l - mean)).sum::<f32>()
+            / d.labels.len() as f32;
+        // Pure noise would have variance ~0.09; the piecewise model dominates.
+        assert!(var > 1.0, "label variance {var} too small");
+    }
+}

@@ -1,0 +1,72 @@
+//! Low-cardinality integer-attribute generator (covtype / letter-style).
+
+use super::GenRng;
+use rand::Rng;
+
+use crate::matrix::{Dataset, SampleMatrix};
+use crate::spec::DatasetSpec;
+
+/// Generates `n` samples whose attributes are small integers with
+/// per-attribute cardinality in `[4, 32]`, labelled by a noisy rule over two
+/// pivot attributes.
+pub(super) fn generate(spec: &DatasetSpec, n: usize, rng: &mut GenRng) -> Dataset {
+    let d = spec.n_attributes;
+    let cards: Vec<u32> = (0..d).map(|_| rng.gen_range(4..=32)).collect();
+    // Two pivot attributes define the (noisy) label rule; the rest are noise.
+    let pivot_a = rng.gen_range(0..d);
+    let pivot_b = if d > 1 { (pivot_a + 1 + rng.gen_range(0..d - 1)) % d } else { 0 };
+    let mut values = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = values.len();
+        for &c in &cards {
+            // Triangular-ish distribution: min of two uniforms skews mass to
+            // low values, producing unequal split-edge probabilities.
+            let v = rng.gen_range(0..c).min(rng.gen_range(0..c));
+            values.push(v as f32);
+        }
+        let va = values[start + pivot_a];
+        let vb = values[start + pivot_b];
+        let noisy = rng.gen_bool(0.1);
+        let raw = va * 2.0 + vb > (cards[pivot_a] as f32);
+        labels.push(f32::from(u8::from(raw != noisy)));
+    }
+    Dataset::new(spec.name, SampleMatrix::from_vec(n, d, values), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attributes_are_small_integers() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let mut rng = GenRng::seed_from_u64(4);
+        let d = generate(&spec, 300, &mut rng);
+        for &v in d.samples.values() {
+            assert!((0.0..32.0).contains(&v));
+            assert_eq!(v, v.trunc(), "attribute {v} is not integral");
+        }
+    }
+
+    #[test]
+    fn both_labels_occur() {
+        let spec = DatasetSpec::by_name("covtype").unwrap();
+        let mut rng = GenRng::seed_from_u64(6);
+        let d = generate(&spec, 500, &mut rng);
+        assert!(d.labels.contains(&0.0));
+        assert!(d.labels.contains(&1.0));
+    }
+
+    #[test]
+    fn distribution_is_skewed_low() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let mut rng = GenRng::seed_from_u64(7);
+        let d = generate(&spec, 1_000, &mut rng);
+        let mean: f32 =
+            d.samples.values().iter().sum::<f32>() / d.samples.values().len() as f32;
+        // Uniform over [0, ~17] would have mean ~8.5; min-of-two skews lower.
+        assert!(mean < 8.0, "mean {mean} not skewed low");
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic data generators.
+//!
+//! Each generator is deterministic given the dataset spec's seed and produces
+//! attribute distributions whose *tree-relevant* structure matches the real
+//! dataset family it stands in for: class-dependent cluster structure yields
+//! skewed edge probabilities after training (needed by §4.1 node
+//! rearrangement), and attribute counts match Table 2 (needed by the
+//! shared-memory capacity effects of §5).
+
+mod gaussian;
+mod linear;
+mod lowcard;
+mod sparse;
+
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Dataset;
+use crate::spec::{DatasetSpec, GeneratorKind, Scale};
+
+/// The RNG used by all generators.
+///
+/// Bulk generation (up to tens of millions of values per dataset) is the hot
+/// path of this crate; `SmallRng` (xoshiro) is several times faster than the
+/// default ChaCha-based `StdRng` and statistical quality is irrelevant here —
+/// only determinism and lack of obvious structure matter for tree training.
+pub(crate) type GenRng = rand::rngs::SmallRng;
+
+/// Generates the dataset described by `spec` at the given `scale`.
+#[must_use]
+pub fn generate(spec: &DatasetSpec, scale: Scale) -> Dataset {
+    let n = spec.scaled_samples(scale);
+    let mut rng = GenRng::seed_from_u64(spec.seed());
+    let mut dataset = match spec.generator {
+        GeneratorKind::GaussianClusters => gaussian::generate(spec, n, &mut rng),
+        GeneratorKind::SparseHighDim => sparse::generate(spec, n, &mut rng),
+        GeneratorKind::LowCardinality => lowcard::generate(spec, n, &mut rng),
+        GeneratorKind::PiecewiseLinear => linear::generate(spec, n, &mut rng),
+    };
+    if spec.missing_rate > 0.0 {
+        inject_missing(&mut dataset, spec.missing_rate, &mut rng);
+    }
+    dataset
+}
+
+/// Replaces a random `rate` fraction of attribute values with `NaN`.
+fn inject_missing(dataset: &mut Dataset, rate: f64, rng: &mut GenRng) {
+    let n = dataset.samples.n_samples();
+    for i in 0..n {
+        let row = dataset.samples.row_mut(i);
+        for v in row.iter_mut() {
+            if rng.gen_bool(rate) {
+                *v = f32::NAN;
+            }
+        }
+    }
+}
+
+/// Draws a zero-mean, unit-variance symmetric noise value.
+///
+/// Implemented as a scaled triangular distribution (sum of two uniforms):
+/// two RNG draws per value instead of Box–Muller's transcendental math. Tree
+/// training only consumes value *order* (quantile bins), so the exact shape
+/// of the tails is irrelevant; mean 0 / variance 1 keeps generator parameters
+/// interpretable.
+pub(crate) fn std_normal(rng: &mut GenRng) -> f32 {
+    // Var(U1 + U2) = 1/6, so scale by sqrt(6).
+    const SCALE: f32 = 2.449_489_8;
+    (rng.gen::<f32>() + rng.gen::<f32>() - 1.0) * SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::by_name("higgs").unwrap();
+        let a = generate(&spec, Scale::Smoke);
+        let b = generate(&spec, Scale::Smoke);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn every_table2_dataset_generates_at_smoke_scale() {
+        for spec in DatasetSpec::table2() {
+            let d = generate(&spec, Scale::Smoke);
+            assert_eq!(d.len(), spec.scaled_samples(Scale::Smoke), "{}", spec.name);
+            assert_eq!(d.samples.n_attributes(), spec.n_attributes, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn missing_rate_is_respected() {
+        let spec = DatasetSpec::by_name("cup98").unwrap();
+        let d = generate(&spec, Scale::Smoke);
+        let frac = d.samples.missing_fraction();
+        assert!(
+            (frac - spec.missing_rate).abs() < 0.02,
+            "missing fraction {frac} far from requested {}",
+            spec.missing_rate
+        );
+    }
+
+    #[test]
+    fn classification_labels_are_binary() {
+        let spec = DatasetSpec::by_name("susy").unwrap();
+        let d = generate(&spec, Scale::Smoke);
+        assert!(d.labels.iter().all(|&l| l == 0.0 || l == 1.0));
+        // Both classes must be present for training to be meaningful.
+        assert!(d.labels.contains(&0.0));
+        assert!(d.labels.contains(&1.0));
+    }
+
+    #[test]
+    fn std_normal_has_roughly_unit_moments() {
+        let mut rng = GenRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Sparse high-dimensional generator (gisette / SVHN / cifar10-style).
+
+use super::GenRng;
+use rand::Rng;
+
+use super::std_normal;
+use crate::matrix::{Dataset, SampleMatrix};
+use crate::spec::DatasetSpec;
+
+/// Generates `n` samples with mostly-near-zero attributes and a small
+/// informative block, in correlated runs that mimic pixel locality.
+pub(super) fn generate(spec: &DatasetSpec, n: usize, rng: &mut GenRng) -> Dataset {
+    let d = spec.n_attributes;
+    // ~2 % informative attributes, at least 8.
+    let n_informative = (d / 50).max(8).min(d);
+    let informative: Vec<usize> = sample_indices(rng, d, n_informative);
+    let mut shift = vec![0.0f32; d];
+    for &a in informative.iter() {
+        shift[a] = 1.5 + rng.gen::<f32>();
+    }
+    let run = 16.min(d); // Pixel-style correlation run length.
+    let mut values = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = usize::from(rng.gen_bool(0.4));
+        let mut a = 0;
+        while a < d {
+            // One low-variance base level per run of adjacent attributes.
+            let base = 0.15 * std_normal(rng).abs();
+            let end = (a + run).min(d);
+            for &attr_shift in &shift[a..end] {
+                let mut v = base + 0.05 * std_normal(rng);
+                if class == 1 {
+                    v += attr_shift;
+                }
+                values.push(v);
+            }
+            a = end;
+        }
+        labels.push(class as f32);
+    }
+    Dataset::new(spec.name, SampleMatrix::from_vec(n, d, values), labels)
+}
+
+/// Samples `k` distinct indices in `0..d` (partial Fisher–Yates).
+fn sample_indices(rng: &mut GenRng, d: usize, k: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..d).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..d);
+        all.swap(i, j);
+    }
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn most_mass_is_near_zero() {
+        let spec = DatasetSpec::by_name("gisette").unwrap();
+        let mut rng = GenRng::seed_from_u64(5);
+        let d = generate(&spec, 50, &mut rng);
+        let small = d
+            .samples
+            .values()
+            .iter()
+            .filter(|v| v.abs() < 0.6)
+            .count() as f64
+            / d.samples.values().len() as f64;
+        assert!(small > 0.8, "only {small} of values near zero");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = GenRng::seed_from_u64(2);
+        let idx = sample_indices(&mut rng, 100, 20);
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn labels_correlate_with_informative_shift() {
+        let spec = DatasetSpec::by_name("cifar10").unwrap();
+        let mut rng = GenRng::seed_from_u64(8);
+        let d = generate(&spec, 400, &mut rng);
+        // Mean attribute magnitude of class 1 exceeds class 0 because of the
+        // informative shift.
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for i in 0..d.len() {
+            let c = d.labels[i] as usize;
+            sums[c] += d.samples.row(i).iter().map(|v| f64::from(v.abs())).sum::<f64>();
+            counts[c] += 1;
+        }
+        let m0 = sums[0] / counts[0] as f64;
+        let m1 = sums[1] / counts[1] as f64;
+        assert!(m1 > m0, "class 1 mean {m1} not above class 0 mean {m0}");
+    }
+}

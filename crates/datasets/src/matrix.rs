@@ -1,0 +1,268 @@
+//! Dense row-major sample storage.
+//!
+//! Samples are stored row-major because both the reference CPU inference and
+//! the simulated GPU kernels address attributes as `base + sample * n_attributes
+//! + attribute`, matching how FIL and Tahoe lay out batches in device memory.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` attribute values.
+///
+/// Missing values are represented as `NaN`, matching the paper's decision-node
+/// semantics: a node takes its *default path* when the tested attribute "does
+/// not have a value" (paper §2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SampleMatrix {
+    n_samples: usize,
+    n_attributes: usize,
+    values: Vec<f32>,
+}
+
+impl SampleMatrix {
+    /// Creates a matrix from raw row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_samples * n_attributes`.
+    #[must_use]
+    pub fn from_vec(n_samples: usize, n_attributes: usize, values: Vec<f32>) -> Self {
+        assert_eq!(
+            values.len(),
+            n_samples * n_attributes,
+            "value buffer does not match matrix dimensions"
+        );
+        Self {
+            n_samples,
+            n_attributes,
+            values,
+        }
+    }
+
+    /// Creates an all-zero matrix.
+    #[must_use]
+    pub fn zeros(n_samples: usize, n_attributes: usize) -> Self {
+        Self {
+            n_samples,
+            n_attributes,
+            values: vec![0.0; n_samples * n_attributes],
+        }
+    }
+
+    /// Number of samples (rows).
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of attributes per sample (columns).
+    #[must_use]
+    pub fn n_attributes(&self) -> usize {
+        self.n_attributes
+    }
+
+    /// Returns one sample as a slice of attribute values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample >= n_samples`.
+    #[must_use]
+    pub fn row(&self, sample: usize) -> &[f32] {
+        let start = sample * self.n_attributes;
+        &self.values[start..start + self.n_attributes]
+    }
+
+    /// Mutable access to one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample >= n_samples`.
+    pub fn row_mut(&mut self, sample: usize) -> &mut [f32] {
+        let start = sample * self.n_attributes;
+        &mut self.values[start..start + self.n_attributes]
+    }
+
+    /// Reads a single attribute value; `NaN` means missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, sample: usize, attribute: usize) -> f32 {
+        assert!(attribute < self.n_attributes, "attribute out of range");
+        self.values[sample * self.n_attributes + attribute]
+    }
+
+    /// The full row-major backing buffer.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterator over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.values.chunks_exact(self.n_attributes.max(1)).take(self.n_samples)
+    }
+
+    /// Builds a new matrix containing only `indices`' rows (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Self {
+        let mut values = Vec::with_capacity(indices.len() * self.n_attributes);
+        for &i in indices {
+            values.extend_from_slice(self.row(i));
+        }
+        Self::from_vec(indices.len(), self.n_attributes, values)
+    }
+
+    /// Fraction of entries that are missing (`NaN`).
+    #[must_use]
+    pub fn missing_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let missing = self.values.iter().filter(|v| v.is_nan()).count();
+        missing as f64 / self.values.len() as f64
+    }
+
+    /// Size in bytes of one sample as stored on the simulated device.
+    #[must_use]
+    pub fn sample_bytes(&self) -> usize {
+        self.n_attributes * core::mem::size_of::<f32>()
+    }
+}
+
+/// A labelled dataset: samples plus one target value per sample.
+///
+/// For binary classification the labels are `0.0` / `1.0`; for regression they
+/// are arbitrary reals. The train/inference split follows the paper: 70 % of
+/// samples train the forest, 30 % are the inference workload (§3, §7.1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"higgs"`).
+    pub name: String,
+    /// Attribute matrix, one row per sample.
+    pub samples: SampleMatrix,
+    /// One label per sample.
+    pub labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that labels match samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != samples.n_samples()`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, samples: SampleMatrix, labels: Vec<f32>) -> Self {
+        assert_eq!(
+            labels.len(),
+            samples.n_samples(),
+            "label count must match sample count"
+        );
+        Self {
+            name: name.into(),
+            samples,
+            labels,
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.n_samples()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into (train, inference) datasets with the paper's 70/30 ratio.
+    ///
+    /// The split is deterministic and interleaved (every 10 samples, 7 go to
+    /// train and 3 to inference) so both halves see the same distribution
+    /// without needing a shuffle pass.
+    #[must_use]
+    pub fn split_train_infer(&self) -> (Dataset, Dataset) {
+        let split = crate::split::TrainInferSplit::paper_default(self.len());
+        (self.subset(&split.train), self.subset(&split.infer))
+    }
+
+    /// Builds a new dataset from a subset of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let samples = self.samples.select(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset::new(self.name.clone(), samples, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SampleMatrix {
+        SampleMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn row_access() {
+        let m = small();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn select_reorders_rows() {
+        let m = small();
+        let s = m.select(&[2, 0]);
+        assert_eq!(s.n_samples(), 2);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn missing_fraction_counts_nans() {
+        let mut m = small();
+        m.row_mut(0)[0] = f32::NAN;
+        let frac = m.missing_fraction();
+        assert!((frac - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_iterator_matches_row() {
+        let m = small();
+        let rows: Vec<_> = m.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], m.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match matrix dimensions")]
+    fn bad_dimensions_panic() {
+        let _ = SampleMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn dataset_split_is_70_30() {
+        let m = SampleMatrix::zeros(100, 4);
+        let d = Dataset::new("t", m, vec![0.0; 100]);
+        let (train, infer) = d.split_train_infer();
+        assert_eq!(train.len(), 70);
+        assert_eq!(infer.len(), 30);
+    }
+
+    #[test]
+    fn sample_bytes_is_attr_count_times_4() {
+        assert_eq!(small().sample_bytes(), 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Deterministic train/inference splitting.
+
+/// Index sets for a train/inference split.
+///
+/// The paper uses 70 % of each dataset for training and 30 % for inference
+/// (§3 and §7.1). We use a deterministic interleaved split: within every
+/// window of ten consecutive samples, the first seven go to the training set
+/// and the remaining three to the inference set. Synthetic samples are i.i.d.
+/// by construction, so interleaving is equivalent to a random split but
+/// reproducible without carrying an RNG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrainInferSplit {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of inference samples.
+    pub infer: Vec<usize>,
+}
+
+impl TrainInferSplit {
+    /// The paper's 70/30 split over `n` samples.
+    #[must_use]
+    pub fn paper_default(n: usize) -> Self {
+        Self::interleaved(n, 7, 10)
+    }
+
+    /// Interleaved split: of every `window` samples, the first `keep` train.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep > window` or `window == 0`.
+    #[must_use]
+    pub fn interleaved(n: usize, keep: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(keep <= window, "keep must not exceed window");
+        let mut train = Vec::with_capacity(n * keep / window + 1);
+        let mut infer = Vec::with_capacity(n - n * keep / window + 1);
+        for i in 0..n {
+            if i % window < keep {
+                train.push(i);
+            } else {
+                infer.push(i);
+            }
+        }
+        Self { train, infer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_indices_exactly_once() {
+        let s = TrainInferSplit::paper_default(103);
+        let mut all: Vec<usize> = s.train.iter().chain(s.infer.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ratio_is_roughly_70_30() {
+        let s = TrainInferSplit::paper_default(1000);
+        assert_eq!(s.train.len(), 700);
+        assert_eq!(s.infer.len(), 300);
+    }
+
+    #[test]
+    fn small_n_still_works() {
+        let s = TrainInferSplit::paper_default(3);
+        assert_eq!(s.train, vec![0, 1, 2]);
+        assert!(s.infer.is_empty());
+    }
+
+    #[test]
+    fn custom_window() {
+        let s = TrainInferSplit::interleaved(4, 1, 2);
+        assert_eq!(s.train, vec![0, 2]);
+        assert_eq!(s.infer, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must not exceed window")]
+    fn keep_larger_than_window_panics() {
+        let _ = TrainInferSplit::interleaved(10, 3, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Decision-tree ensemble substrate for the Tahoe reproduction.
+//!
+//! Replaces XGBoost in the paper's pipeline: trains binary decision trees with
+//! histogram-based split finding, assembles them into GBDT or random-forest
+//! ensembles, counts the *edge probabilities* Tahoe's node rearrangement
+//! consumes (paper §2/§4.1), and provides reference CPU inference used as
+//! ground truth by every engine test.
+//!
+//! # Examples
+//!
+//! ```
+//! use tahoe_datasets::{DatasetSpec, Scale};
+//! use tahoe_forest::{train_for_spec, predict_dataset};
+//!
+//! let spec = DatasetSpec::by_name("letter").unwrap();
+//! let data = spec.generate(Scale::Smoke);
+//! let (train, infer) = data.split_train_infer();
+//! let forest = train_for_spec(&spec, &train, Scale::Smoke);
+//! let preds = predict_dataset(&forest, &infer.samples);
+//! assert_eq!(preds.len(), infer.len());
+//! ```
+
+pub mod forest;
+pub mod io;
+pub mod node;
+pub mod predict;
+pub mod probability;
+pub mod train;
+pub mod tree;
+
+pub use forest::{Forest, ForestStats};
+pub use node::{Node, NodeId};
+pub use predict::{predict_dataset, predict_sample};
+pub use train::prune::{prune_forest, prune_tree};
+pub use train::{train_for_spec, GbdtParams, RandomForestParams, TrainParams};
+pub use tree::Tree;

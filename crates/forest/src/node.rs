@@ -1,0 +1,152 @@
+//! Tree node representation.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its tree's node arena.
+pub type NodeId = u32;
+
+/// A binary decision-tree node (paper §2).
+///
+/// A decision node tests `sample[attribute] < threshold`; `true` routes to the
+/// left child, `false` to the right. When the attribute value is missing
+/// (`NaN`), the *default path* is taken (`default_left`). `left_prob` is the
+/// training-time edge probability of the left edge — the data property the
+/// probability-based node rearrangement of §4.1 consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Interior (or root) node with a split condition.
+    Decision {
+        /// Attribute index tested by this node.
+        attribute: u32,
+        /// Split threshold; the left branch is taken when `value < threshold`.
+        threshold: f32,
+        /// Whether a missing attribute value routes left.
+        default_left: bool,
+        /// Left child id.
+        left: NodeId,
+        /// Right child id.
+        right: NodeId,
+        /// Probability (from training data) that a visit to this node takes
+        /// the left edge. `0.5` when never measured.
+        left_prob: f32,
+    },
+    /// Terminal node carrying the tree's output contribution.
+    Leaf {
+        /// Prediction value (raw score for GBDT, mean target for RF).
+        value: f32,
+    },
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// The leaf value, if this is a leaf.
+    #[must_use]
+    pub fn leaf_value(&self) -> Option<f32> {
+        match self {
+            Node::Leaf { value } => Some(*value),
+            Node::Decision { .. } => None,
+        }
+    }
+
+    /// The children ids `(left, right)`, if this is a decision node.
+    #[must_use]
+    pub fn children(&self) -> Option<(NodeId, NodeId)> {
+        match self {
+            Node::Decision { left, right, .. } => Some((*left, *right)),
+            Node::Leaf { .. } => None,
+        }
+    }
+
+    /// The attribute tested by this node, if any.
+    #[must_use]
+    pub fn attribute(&self) -> Option<u32> {
+        match self {
+            Node::Decision { attribute, .. } => Some(*attribute),
+            Node::Leaf { .. } => None,
+        }
+    }
+
+    /// Routes a sample through this decision node.
+    ///
+    /// Returns the child to visit next, honouring the default path on missing
+    /// values. Returns `None` for leaves.
+    #[must_use]
+    pub fn route(&self, sample: &[f32]) -> Option<NodeId> {
+        match *self {
+            Node::Leaf { .. } => None,
+            Node::Decision {
+                attribute,
+                threshold,
+                default_left,
+                left,
+                right,
+                ..
+            } => {
+                let v = sample[attribute as usize];
+                let go_left = if v.is_nan() { default_left } else { v < threshold };
+                Some(if go_left { left } else { right })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision() -> Node {
+        Node::Decision {
+            attribute: 1,
+            threshold: 0.5,
+            default_left: false,
+            left: 1,
+            right: 2,
+            left_prob: 0.7,
+        }
+    }
+
+    #[test]
+    fn route_follows_threshold() {
+        let n = decision();
+        assert_eq!(n.route(&[9.9, 0.4]), Some(1));
+        assert_eq!(n.route(&[9.9, 0.5]), Some(2));
+        assert_eq!(n.route(&[9.9, 0.6]), Some(2));
+    }
+
+    #[test]
+    fn route_takes_default_on_missing() {
+        let n = decision();
+        assert_eq!(n.route(&[0.0, f32::NAN]), Some(2));
+        let n_left = Node::Decision {
+            attribute: 1,
+            threshold: 0.5,
+            default_left: true,
+            left: 1,
+            right: 2,
+            left_prob: 0.5,
+        };
+        assert_eq!(n_left.route(&[0.0, f32::NAN]), Some(1));
+    }
+
+    #[test]
+    fn leaf_has_no_route() {
+        let leaf = Node::Leaf { value: 3.0 };
+        assert_eq!(leaf.route(&[1.0]), None);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.leaf_value(), Some(3.0));
+        assert_eq!(decision().leaf_value(), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let n = decision();
+        assert_eq!(n.children(), Some((1, 2)));
+        assert_eq!(n.attribute(), Some(1));
+        assert!(!n.is_leaf());
+    }
+}

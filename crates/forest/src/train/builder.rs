@@ -1,0 +1,367 @@
+//! Single-tree builder over gradient/hessian pairs (XGBoost-style).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::node::{Node, NodeId};
+use crate::train::histogram::{build_histograms, BinnedMatrix, FeatureHistogram};
+use crate::train::TrainParams;
+use crate::tree::Tree;
+
+/// A chosen split for one node.
+#[derive(Clone, Copy, Debug)]
+struct Split {
+    feature: usize,
+    /// Index into the feature's edge array; threshold is `edges[edge_idx]`.
+    edge_idx: usize,
+    /// Whether missing values route left.
+    default_left: bool,
+    gain: f64,
+}
+
+/// Context shared across one tree build.
+pub struct TreeBuilder<'a> {
+    binned: &'a BinnedMatrix,
+    g: &'a [f32],
+    h: &'a [f32],
+    params: &'a TrainParams,
+    features: Vec<usize>,
+    max_depth: usize,
+    /// Scale applied to leaf values (the GBDT learning rate; 1.0 for RF).
+    leaf_scale: f32,
+}
+
+impl<'a> TreeBuilder<'a> {
+    /// Creates a builder for one tree.
+    ///
+    /// `features` is the per-tree column subsample; `max_depth` may differ
+    /// from `params.max_depth` when depth jitter is enabled.
+    #[must_use]
+    pub fn new(
+        binned: &'a BinnedMatrix,
+        g: &'a [f32],
+        h: &'a [f32],
+        params: &'a TrainParams,
+        features: Vec<usize>,
+        max_depth: usize,
+        leaf_scale: f32,
+    ) -> Self {
+        assert_eq!(g.len(), binned.n_samples());
+        assert_eq!(h.len(), binned.n_samples());
+        assert!(!features.is_empty(), "need at least one candidate feature");
+        Self {
+            binned,
+            g,
+            h,
+            params,
+            features,
+            max_depth,
+            leaf_scale,
+        }
+    }
+
+    /// Builds the tree over the given root sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    #[must_use]
+    pub fn build(&self, indices: Vec<u32>) -> Tree {
+        assert!(!indices.is_empty(), "cannot build a tree on zero samples");
+        let mut nodes: Vec<Node> = Vec::new();
+        self.build_node(indices, 0, &mut nodes);
+        Tree::new(nodes)
+    }
+
+    /// Recursively appends the subtree for `indices`; returns its root id.
+    fn build_node(&self, indices: Vec<u32>, depth: usize, nodes: &mut Vec<Node>) -> NodeId {
+        let id = nodes.len() as NodeId;
+        if depth >= self.max_depth || indices.len() < 2 * self.params.min_samples_leaf {
+            nodes.push(self.leaf(&indices));
+            return id;
+        }
+        let hists = build_histograms(self.binned, &self.features, &indices, self.g, self.h);
+        let Some(split) = self.best_split(&hists) else {
+            nodes.push(self.leaf(&indices));
+            return id;
+        };
+        let (left_idx, right_idx) = self.partition(&indices, split);
+        if left_idx.len() < self.params.min_samples_leaf
+            || right_idx.len() < self.params.min_samples_leaf
+        {
+            nodes.push(self.leaf(&indices));
+            return id;
+        }
+        let left_prob = left_idx.len() as f32 / indices.len() as f32;
+        drop(indices);
+        // Reserve the decision slot, then append subtrees (children forward).
+        nodes.push(Node::Leaf { value: 0.0 });
+        let threshold = self.binned.edges(split.feature)[split.edge_idx];
+        let left = self.build_node(left_idx, depth + 1, nodes);
+        let right = self.build_node(right_idx, depth + 1, nodes);
+        nodes[id as usize] = Node::Decision {
+            attribute: split.feature as u32,
+            threshold,
+            default_left: split.default_left,
+            left,
+            right,
+            left_prob,
+        };
+        id
+    }
+
+    /// Newton leaf value: `-G / (H + lambda)`, scaled by the learning rate.
+    fn leaf(&self, indices: &[u32]) -> Node {
+        let mut sum_g = 0.0f64;
+        let mut sum_h = 0.0f64;
+        for &i in indices {
+            sum_g += f64::from(self.g[i as usize]);
+            sum_h += f64::from(self.h[i as usize]);
+        }
+        let value = (-sum_g / (sum_h + f64::from(self.params.lambda))) as f32;
+        Node::Leaf {
+            value: value * self.leaf_scale,
+        }
+    }
+
+    /// Finds the best (feature, edge) split across all candidate histograms.
+    ///
+    /// Missing values are tried on both sides (XGBoost's sparsity-aware
+    /// split); `default_left` records the winning direction.
+    fn best_split(&self, hists: &[FeatureHistogram]) -> Option<Split> {
+        let lambda = f64::from(self.params.lambda);
+        let mut best: Option<Split> = None;
+        for (slot, hist) in hists.iter().enumerate() {
+            let feature = self.features[slot];
+            let n_edges = self.binned.edges(feature).len();
+            if n_edges == 0 {
+                continue;
+            }
+            let miss = hist.missing_slot();
+            let (gm, hm) = (hist.sum_g[miss], hist.sum_h[miss]);
+            let total_g: f64 = hist.sum_g.iter().sum();
+            let total_h: f64 = hist.sum_h.iter().sum();
+            let parent_score = total_g * total_g / (total_h + lambda);
+            // Prefix over value bins 0..=k corresponds to "v < edges[k]".
+            let mut gl = 0.0f64;
+            let mut hl = 0.0f64;
+            for k in 0..n_edges {
+                gl += hist.sum_g[k];
+                hl += hist.sum_h[k];
+                for &missing_left in &[false, true] {
+                    let (l_g, l_h) = if missing_left { (gl + gm, hl + hm) } else { (gl, hl) };
+                    let (r_g, r_h) = (total_g - l_g, total_h - l_h);
+                    if l_h <= 0.0 || r_h <= 0.0 {
+                        continue;
+                    }
+                    let gain = l_g * l_g / (l_h + lambda) + r_g * r_g / (r_h + lambda)
+                        - parent_score;
+                    if gain > best.as_ref().map_or(1e-9, |b| b.gain) {
+                        best = Some(Split {
+                            feature,
+                            edge_idx: k,
+                            default_left: missing_left,
+                            gain,
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Partitions node samples by the chosen split.
+    fn partition(&self, indices: &[u32], split: Split) -> (Vec<u32>, Vec<u32>) {
+        let mut left = Vec::with_capacity(indices.len() / 2);
+        let mut right = Vec::with_capacity(indices.len() / 2);
+        for &i in indices {
+            let bin = self.binned.bin(i as usize, split.feature);
+            let go_left = if bin == crate::train::histogram::MISSING_BIN {
+                split.default_left
+            } else {
+                usize::from(bin) <= split.edge_idx
+            };
+            if go_left {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        (left, right)
+    }
+}
+
+/// Draws the per-tree feature subsample.
+#[must_use]
+pub fn sample_features(rng: &mut StdRng, n_features: usize, colsample: f64) -> Vec<usize> {
+    let k = ((n_features as f64 * colsample).round() as usize).clamp(1, n_features);
+    if k == n_features {
+        return (0..n_features).collect();
+    }
+    // Partial Fisher–Yates.
+    let mut all: Vec<usize> = (0..n_features).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n_features);
+        all.swap(i, j);
+    }
+    all.truncate(k);
+    all.sort_unstable();
+    all
+}
+
+/// Draws this tree's max depth, honoring the depth-jitter flag.
+///
+/// The range is deliberately wide (25 %–100 % of the nominal depth): the
+/// paper attributes its large thread-time imbalance ("up to 10x difference",
+/// §1) to random attribute selection and post-pruning, which produce trees of
+/// very different sizes within one ensemble.
+#[must_use]
+pub fn jittered_depth(rng: &mut StdRng, params: &TrainParams) -> usize {
+    if !params.depth_jitter || params.max_depth <= 2 {
+        return params.max_depth;
+    }
+    let lo = ((params.max_depth as f64) * 0.25).ceil() as usize;
+    let lo = lo.max(2);
+    rng.gen_range(lo..=params.max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tahoe_datasets::SampleMatrix;
+
+    fn xor_ish_data() -> (SampleMatrix, Vec<f32>) {
+        // A dataset splittable at x0 < 0.5 then x1 < 0.5.
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..64 {
+            let x0 = f32::from(u8::from(i % 2 == 0));
+            let x1 = f32::from(u8::from((i / 2) % 2 == 0));
+            values.extend_from_slice(&[x0, x1]);
+            labels.push(if x0 == 0.0 && x1 == 0.0 { 4.0 } else { 1.0 });
+        }
+        (SampleMatrix::from_vec(64, 2, values), labels)
+    }
+
+    fn fit_tree(max_depth: usize) -> (Tree, SampleMatrix, Vec<f32>) {
+        let (m, y) = xor_ish_data();
+        let binned = BinnedMatrix::build(&m, 8);
+        // RF-style: g = -y, h = 1 → leaf value = mean(y).
+        let g: Vec<f32> = y.iter().map(|v| -v).collect();
+        let h = vec![1.0f32; y.len()];
+        let params = TrainParams {
+            max_depth,
+            min_samples_leaf: 1,
+            lambda: 0.0,
+            ..TrainParams::default()
+        };
+        let b = TreeBuilder::new(&binned, &g, &h, &params, vec![0, 1], max_depth, 1.0);
+        let tree = b.build((0..64).collect());
+        (tree, m, y)
+    }
+
+    #[test]
+    fn tree_learns_the_partition() {
+        let (tree, m, y) = fit_tree(3);
+        let mut worst = 0.0f32;
+        for (i, target) in y.iter().enumerate() {
+            let err = (tree.predict(m.row(i)) - target).abs();
+            worst = worst.max(err);
+        }
+        assert!(worst < 0.1, "worst training error {worst}");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (tree, _, _) = fit_tree(1);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn left_prob_reflects_sample_mass() {
+        let (tree, _, _) = fit_tree(3);
+        for n in tree.nodes() {
+            if let Node::Decision { left_prob, .. } = n {
+                assert!(*left_prob > 0.0 && *left_prob < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_value_is_mean_under_rf_trick() {
+        let params = TrainParams {
+            lambda: 0.0,
+            ..TrainParams::default()
+        };
+        let m = SampleMatrix::from_vec(3, 1, vec![0.0, 0.0, 0.0]);
+        let binned = BinnedMatrix::build(&m, 4);
+        let y = [2.0f32, 4.0, 6.0];
+        let g: Vec<f32> = y.iter().map(|v| -v).collect();
+        let h = vec![1.0f32; 3];
+        let b = TreeBuilder::new(&binned, &g, &h, &params, vec![0], 3, 1.0);
+        let tree = b.build(vec![0, 1, 2]);
+        assert!((tree.predict(&[0.0]) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn missing_values_follow_default_direction() {
+        // Feature 0: half missing with high targets → default side should
+        // capture them.
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..32 {
+            if i % 2 == 0 {
+                values.push(f32::NAN);
+                labels.push(10.0);
+            } else {
+                values.push(1.0);
+                labels.push(0.0);
+            }
+            values.push(i as f32); // A second, noisy feature.
+        }
+        let m = SampleMatrix::from_vec(32, 2, values);
+        let binned = BinnedMatrix::build(&m, 8);
+        let g: Vec<f32> = labels.iter().map(|v: &f32| -v).collect();
+        let h = vec![1.0f32; 32];
+        let params = TrainParams {
+            min_samples_leaf: 1,
+            lambda: 0.0,
+            ..TrainParams::default()
+        };
+        let b = TreeBuilder::new(&binned, &g, &h, &params, vec![0, 1], 4, 1.0);
+        let tree = b.build((0..32).collect());
+        let pred_missing = tree.predict(&[f32::NAN, 3.0]);
+        assert!((pred_missing - 10.0).abs() < 0.5, "missing routed wrong: {pred_missing}");
+    }
+
+    #[test]
+    fn sample_features_is_sorted_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = sample_features(&mut rng, 100, 0.2);
+        assert_eq!(f.len(), 20);
+        for w in f.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn jittered_depth_within_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = TrainParams {
+            max_depth: 10,
+            depth_jitter: true,
+            ..TrainParams::default()
+        };
+        for _ in 0..100 {
+            let d = jittered_depth(&mut rng, &params);
+            assert!((3..=10).contains(&d));
+        }
+        let no_jitter = TrainParams {
+            max_depth: 10,
+            depth_jitter: false,
+            ..TrainParams::default()
+        };
+        assert_eq!(jittered_depth(&mut rng, &no_jitter), 10);
+    }
+}

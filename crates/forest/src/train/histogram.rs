@@ -1,0 +1,333 @@
+//! Feature binning and gradient histograms.
+//!
+//! Values are quantized once per training run into at most `n_bins` bins per
+//! feature (quantile-based edges, as in XGBoost's approximate algorithm).
+//! Split finding then scans per-bin gradient statistics instead of sorted raw
+//! values.
+
+use tahoe_datasets::SampleMatrix;
+
+/// Bin index reserved for missing (`NaN`) values.
+pub const MISSING_BIN: u8 = u8::MAX;
+
+/// Maximum usable bins per feature (one index is reserved for missing).
+pub const MAX_BINS: usize = (MISSING_BIN as usize) - 1;
+
+/// A quantized view of a sample matrix.
+///
+/// `bin(sample, feature)` is the number of candidate thresholds `<= value`,
+/// so the split "value < edges\[k\]" is exactly "bin <= k".
+#[derive(Clone, Debug)]
+pub struct BinnedMatrix {
+    n_samples: usize,
+    n_features: usize,
+    bins: Vec<u8>,
+    /// Candidate thresholds per feature, ascending and distinct.
+    edges: Vec<Vec<f32>>,
+}
+
+impl BinnedMatrix {
+    /// Quantizes `matrix` into at most `n_bins` bins per feature.
+    ///
+    /// Edge candidates are quantiles computed over a bounded subsample of
+    /// rows, so binning cost is `O(n_features * min(n, cap) log)` regardless
+    /// of dataset size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bins` is 0 or exceeds [`MAX_BINS`].
+    #[must_use]
+    pub fn build(matrix: &SampleMatrix, n_bins: usize) -> Self {
+        assert!((1..=MAX_BINS).contains(&n_bins), "n_bins {n_bins} out of range");
+        let n = matrix.n_samples();
+        let d = matrix.n_attributes();
+        const QUANTILE_CAP: usize = 4_096;
+        let stride = (n / QUANTILE_CAP).max(1);
+        let mut edges = Vec::with_capacity(d);
+        let mut scratch: Vec<f32> = Vec::with_capacity(n.min(QUANTILE_CAP) + 1);
+        for f in 0..d {
+            scratch.clear();
+            let mut has_missing = false;
+            let mut i = 0;
+            while i < n {
+                let v = matrix.get(i, f);
+                if v.is_nan() {
+                    has_missing = true;
+                } else {
+                    scratch.push(v);
+                }
+                i += stride;
+            }
+            edges.push(quantile_edges(&mut scratch, n_bins, has_missing));
+        }
+        let mut bins = vec![0u8; n * d];
+        for s in 0..n {
+            let row = matrix.row(s);
+            let out = &mut bins[s * d..(s + 1) * d];
+            for f in 0..d {
+                out[f] = bin_value(&edges[f], row[f]);
+            }
+        }
+        Self {
+            n_samples: n,
+            n_features: d,
+            bins,
+            edges,
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Bin index of `(sample, feature)`; [`MISSING_BIN`] when missing.
+    #[must_use]
+    pub fn bin(&self, sample: usize, feature: usize) -> u8 {
+        self.bins[sample * self.n_features + feature]
+    }
+
+    /// Candidate thresholds for a feature (ascending).
+    #[must_use]
+    pub fn edges(&self, feature: usize) -> &[f32] {
+        &self.edges[feature]
+    }
+
+    /// Number of value bins for a feature (`edges.len() + 1`).
+    #[must_use]
+    pub fn n_value_bins(&self, feature: usize) -> usize {
+        self.edges[feature].len() + 1
+    }
+}
+
+/// Computes distinct quantile-based candidate thresholds.
+///
+/// An edge equal to the feature's minimum produces an always-empty left value
+/// bin, which is useless *unless* the feature has missing values — then the
+/// split "left on missing-default" still separates missing from present, so
+/// the min-edge is kept.
+fn quantile_edges(values: &mut [f32], n_bins: usize, has_missing: bool) -> Vec<f32> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    values.sort_by(f32::total_cmp);
+    let n = values.len();
+    let min = values[0];
+    let mut out = Vec::with_capacity(n_bins.saturating_sub(1));
+    for k in 1..n_bins {
+        let idx = k * n / n_bins;
+        let v = values[idx.min(n - 1)];
+        if (has_missing || v > min) && out.last().is_none_or(|&last| v > last) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Number of edges `<= value`; [`MISSING_BIN`] for `NaN`.
+fn bin_value(edges: &[f32], value: f32) -> u8 {
+    if value.is_nan() {
+        return MISSING_BIN;
+    }
+    // Binary search for the partition point of `edge <= value`.
+    let mut lo = 0usize;
+    let mut hi = edges.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if edges[mid] <= value {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u8
+}
+
+/// Per-bin gradient statistics for one feature at one tree node.
+#[derive(Clone, Debug, Default)]
+pub struct FeatureHistogram {
+    /// Sum of gradients per bin (last slot is the missing bin).
+    pub sum_g: Vec<f64>,
+    /// Sum of hessians per bin (last slot is the missing bin).
+    pub sum_h: Vec<f64>,
+    /// Sample count per bin (last slot is the missing bin).
+    pub count: Vec<u32>,
+}
+
+impl FeatureHistogram {
+    /// An empty histogram with `n_value_bins` value bins plus a missing slot.
+    #[must_use]
+    pub fn zeros(n_value_bins: usize) -> Self {
+        Self {
+            sum_g: vec![0.0; n_value_bins + 1],
+            sum_h: vec![0.0; n_value_bins + 1],
+            count: vec![0; n_value_bins + 1],
+        }
+    }
+
+    /// Accumulates one sample.
+    pub fn add(&mut self, bin: u8, g: f32, h: f32) {
+        let idx = if bin == MISSING_BIN {
+            self.sum_g.len() - 1
+        } else {
+            bin as usize
+        };
+        self.sum_g[idx] += f64::from(g);
+        self.sum_h[idx] += f64::from(h);
+        self.count[idx] += 1;
+    }
+
+    /// Index of the missing-value slot.
+    #[must_use]
+    pub fn missing_slot(&self) -> usize {
+        self.sum_g.len() - 1
+    }
+}
+
+/// Builds histograms for the selected features over the node's samples.
+///
+/// Large nodes (many samples × many features) split the feature set across
+/// worker threads — features are independent accumulators, so this is a
+/// clean parallel decomposition and the result is bit-identical to the
+/// sequential pass. This is what makes `--scale paper` training tractable.
+#[must_use]
+pub fn build_histograms(
+    binned: &BinnedMatrix,
+    features: &[usize],
+    indices: &[u32],
+    g: &[f32],
+    h: &[f32],
+) -> Vec<FeatureHistogram> {
+    // Below this many cell updates, thread spawn overhead dominates.
+    const PARALLEL_CUTOFF: usize = 4_000_000;
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(features.len().max(1));
+    if workers <= 1 || indices.len().saturating_mul(features.len()) < PARALLEL_CUTOFF {
+        return build_histograms_seq(binned, features, indices, g, h);
+    }
+    let chunk = features.len().div_ceil(workers);
+    let mut out: Vec<FeatureHistogram> = Vec::with_capacity(features.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = features
+            .chunks(chunk)
+            .map(|feature_chunk| {
+                scope.spawn(move || build_histograms_seq(binned, feature_chunk, indices, g, h))
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("histogram worker panicked"));
+        }
+    });
+    out
+}
+
+fn build_histograms_seq(
+    binned: &BinnedMatrix,
+    features: &[usize],
+    indices: &[u32],
+    g: &[f32],
+    h: &[f32],
+) -> Vec<FeatureHistogram> {
+    let mut hists: Vec<FeatureHistogram> = features
+        .iter()
+        .map(|&f| FeatureHistogram::zeros(binned.n_value_bins(f)))
+        .collect();
+    for &i in indices {
+        let i = i as usize;
+        let row = &binned.bins[i * binned.n_features..(i + 1) * binned.n_features];
+        let (gi, hi) = (g[i], h[i]);
+        for (slot, &f) in features.iter().enumerate() {
+            hists[slot].add(row[f], gi, hi);
+        }
+    }
+    hists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_value_counts_edges_leq() {
+        let edges = vec![1.0, 2.0, 3.0];
+        assert_eq!(bin_value(&edges, 0.5), 0);
+        assert_eq!(bin_value(&edges, 1.0), 1);
+        assert_eq!(bin_value(&edges, 2.5), 2);
+        assert_eq!(bin_value(&edges, 9.0), 3);
+        assert_eq!(bin_value(&edges, f32::NAN), MISSING_BIN);
+    }
+
+    #[test]
+    fn split_semantics_match_binning() {
+        // "v < edges[k]" must be equivalent to "bin(v) <= k".
+        let edges = vec![-1.0, 0.5, 2.0];
+        for v in [-5.0f32, -1.0, -0.5, 0.5, 1.0, 2.0, 7.0] {
+            for (k, &t) in edges.iter().enumerate() {
+                assert_eq!(v < t, usize::from(bin_value(&edges, v)) <= k, "v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edges_are_distinct_ascending() {
+        let mut vals: Vec<f32> = (0..100).map(|i| (i % 10) as f32).collect();
+        let edges = quantile_edges(&mut vals, 8, false);
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(edges.len() <= 7);
+    }
+
+    #[test]
+    fn binned_matrix_roundtrip() {
+        let m = SampleMatrix::from_vec(4, 2, vec![0.0, 10.0, 1.0, 20.0, 2.0, 30.0, 3.0, 40.0]);
+        let b = BinnedMatrix::build(&m, 4);
+        assert_eq!(b.n_samples(), 4);
+        assert_eq!(b.n_features(), 2);
+        // Feature 0 values 0..=3 must land in increasing bins.
+        let bins: Vec<u8> = (0..4).map(|s| b.bin(s, 0)).collect();
+        for w in bins.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(bins[3] > bins[0]);
+    }
+
+    #[test]
+    fn missing_values_get_missing_bin() {
+        let m = SampleMatrix::from_vec(2, 1, vec![f32::NAN, 1.0]);
+        let b = BinnedMatrix::build(&m, 4);
+        assert_eq!(b.bin(0, 0), MISSING_BIN);
+        assert_ne!(b.bin(1, 0), MISSING_BIN);
+    }
+
+    #[test]
+    fn histograms_accumulate() {
+        let m = SampleMatrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, f32::NAN]);
+        let b = BinnedMatrix::build(&m, 4);
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        let h = vec![1.0; 4];
+        let hists = build_histograms(&b, &[0], &[0, 1, 2, 3], &g, &h);
+        let hist = &hists[0];
+        let total_g: f64 = hist.sum_g.iter().sum();
+        assert!((total_g - 10.0).abs() < 1e-9);
+        assert_eq!(hist.count.iter().sum::<u32>(), 4);
+        assert_eq!(hist.count[hist.missing_slot()], 1);
+    }
+
+    #[test]
+    fn constant_feature_has_no_edges() {
+        let m = SampleMatrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]);
+        let b = BinnedMatrix::build(&m, 8);
+        assert!(b.edges(0).is_empty());
+        assert_eq!(b.n_value_bins(0), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Ensemble training (replaces XGBoost in the paper's pipeline).
+//!
+//! The trainer is a histogram-based CART builder shared by two ensemble
+//! drivers: second-order gradient boosting ([`gbdt`]) and random forests
+//! ([`random_forest`]). Both reduce to building regression trees on
+//! per-sample gradient/hessian pairs, exactly as XGBoost does; random forests
+//! use `g = -y, h = 1`, for which the optimal leaf value is the mean target.
+
+pub mod builder;
+pub mod gbdt;
+pub mod histogram;
+pub mod prune;
+pub mod random_forest;
+
+use serde::{Deserialize, Serialize};
+
+use tahoe_datasets::{Dataset, DatasetSpec, ForestKind, Scale, Task};
+
+use crate::forest::Forest;
+
+pub use gbdt::GbdtParams;
+pub use random_forest::RandomForestParams;
+
+/// Hyperparameters shared by both ensemble trainers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainParams {
+    /// Number of trees to train.
+    pub n_trees: usize,
+    /// Maximum tree depth (edges root→leaf).
+    pub max_depth: usize,
+    /// Minimum training samples per leaf.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf values (XGBoost's lambda).
+    pub lambda: f32,
+    /// Fraction of features considered per tree (per-tree column subsampling).
+    pub colsample: f64,
+    /// Number of histogram bins per feature (max 254).
+    pub n_bins: usize,
+    /// Whether to vary `max_depth` per tree within `[60 %, 100 %]` of the
+    /// nominal value. The paper attributes tree-depth variance to random
+    /// attribute selection and post-pruning (§1); the jitter reproduces the
+    /// resulting load imbalance that §4.2's tree rearrangement targets.
+    pub depth_jitter: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            max_depth: 6,
+            min_samples_leaf: 4,
+            lambda: 1.0,
+            colsample: 1.0,
+            n_bins: 32,
+            depth_jitter: true,
+            seed: 0x7_A40E,
+        }
+    }
+}
+
+impl TrainParams {
+    /// Sensible defaults for a Table 2 dataset at a given scale.
+    #[must_use]
+    pub fn for_spec(spec: &DatasetSpec, scale: Scale) -> Self {
+        let d = spec.n_attributes as f64;
+        // High-dimensional datasets subsample columns aggressively (like
+        // XGBoost's colsample_bytree); this keeps histogram costs bounded and
+        // mirrors common practice for pixel-style data.
+        let colsample = if spec.n_attributes > 256 {
+            (d.sqrt().max(32.0) / d).min(1.0)
+        } else if spec.forest == ForestKind::RandomForest {
+            0.6
+        } else {
+            1.0
+        };
+        Self {
+            n_trees: spec.scaled_trees(scale),
+            max_depth: spec.max_depth,
+            colsample,
+            seed: tahoe_datasets::mix_seed(spec.seed(), 0x7141),
+            ..Self::default()
+        }
+    }
+}
+
+/// Trains the forest described by `spec` on `train` at the given `scale`.
+///
+/// Dispatches to GBDT or random forest per Table 2's "forest type" column.
+#[must_use]
+pub fn train_for_spec(spec: &DatasetSpec, train: &Dataset, scale: Scale) -> Forest {
+    let params = TrainParams::for_spec(spec, scale);
+    match spec.forest {
+        ForestKind::Gbdt => {
+            let gp = GbdtParams {
+                base: params,
+                learning_rate: 0.1,
+                subsample: 0.8,
+            };
+            gbdt::train(&gp, train, spec.task)
+        }
+        ForestKind::RandomForest => {
+            let rp = RandomForestParams { base: params };
+            random_forest::train(&rp, train, spec.task)
+        }
+    }
+}
+
+/// Numerically stable sigmoid.
+#[must_use]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Base score (prior) for a task given the label vector.
+#[must_use]
+pub fn base_score(task: Task, labels: &[f32]) -> f32 {
+    let mean = labels.iter().sum::<f32>() / labels.len().max(1) as f32;
+    match task {
+        Task::Regression => mean,
+        Task::BinaryClassification => {
+            let p = mean.clamp(1e-4, 1.0 - 1e-4);
+            (p / (1.0 - p)).ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_symmetric_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(5.0) + sigmoid(-5.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn base_score_regression_is_mean() {
+        assert!((base_score(Task::Regression, &[1.0, 3.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn base_score_classification_is_logit() {
+        let b = base_score(Task::BinaryClassification, &[1.0, 1.0, 0.0, 0.0]);
+        assert!(b.abs() < 1e-6, "logit of 0.5 should be 0, got {b}");
+        let b = base_score(Task::BinaryClassification, &[1.0, 1.0, 1.0, 0.0]);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn for_spec_caps_colsample_for_high_dim() {
+        let spec = DatasetSpec::by_name("gisette").unwrap();
+        let p = TrainParams::for_spec(&spec, Scale::Ci);
+        assert!(p.colsample < 0.05, "colsample {} too large for 5000 attrs", p.colsample);
+        assert!(p.colsample * 5000.0 >= 32.0);
+    }
+
+    #[test]
+    fn for_spec_uses_table2_hyperparameters() {
+        let spec = DatasetSpec::by_name("covtype").unwrap();
+        let p = TrainParams::for_spec(&spec, Scale::Smoke);
+        assert_eq!(p.max_depth, 3);
+        assert_eq!(p.n_trees, 40);
+    }
+}

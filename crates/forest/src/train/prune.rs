@@ -1,0 +1,241 @@
+//! Post-training subtree collapsing ("pruning").
+//!
+//! The paper attributes the tree-structure variance Tahoe exploits partly to
+//! post-pruning [19, 42]. This module implements probability-weighted
+//! low-variance collapsing: a subtree whose leaves are (almost) equal —
+//! weighted by how often each leaf is reached — contributes (almost) nothing
+//! beyond its mean, so it is replaced by a single leaf carrying that mean.
+//! Besides modelling pruning's structural effect, this is a practical
+//! inference-time compression: smaller trees mean fewer levels, fewer bytes
+//! and better coalescing.
+
+use crate::node::{Node, NodeId};
+use crate::tree::Tree;
+use crate::Forest;
+
+/// Probability-weighted leaf statistics of each subtree.
+struct SubtreeStats {
+    /// Weighted mean leaf value under each node.
+    mean: Vec<f64>,
+    /// Weighted variance of leaf values under each node.
+    var: Vec<f64>,
+}
+
+fn subtree_stats(tree: &Tree) -> SubtreeStats {
+    let n = tree.n_nodes();
+    let mut mean = vec![0.0f64; n];
+    let mut var = vec![0.0f64; n];
+    // Children have larger ids than parents, so a reverse pass is bottom-up.
+    for id in (0..n).rev() {
+        match tree.node(id as NodeId) {
+            Node::Leaf { value } => {
+                mean[id] = f64::from(*value);
+                var[id] = 0.0;
+            }
+            Node::Decision {
+                left,
+                right,
+                left_prob,
+                ..
+            } => {
+                let p = f64::from(*left_prob).clamp(0.0, 1.0);
+                let (l, r) = (*left as usize, *right as usize);
+                let m = p * mean[l] + (1.0 - p) * mean[r];
+                // Law of total variance.
+                let v = p * (var[l] + (mean[l] - m) * (mean[l] - m))
+                    + (1.0 - p) * (var[r] + (mean[r] - m) * (mean[r] - m));
+                mean[id] = m;
+                var[id] = v;
+            }
+        }
+    }
+    SubtreeStats { mean, var }
+}
+
+/// Collapses every subtree whose weighted leaf-value standard deviation is at
+/// most `epsilon` into a single leaf carrying the weighted mean.
+///
+/// `epsilon = 0` collapses only exactly-constant subtrees; larger values
+/// trade accuracy (the expected per-tree output shift is bounded by the
+/// collapsed subtrees' standard deviation) for smaller trees.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is negative or not finite.
+#[must_use]
+pub fn prune_tree(tree: &Tree, epsilon: f32) -> Tree {
+    assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and >= 0");
+    let stats = subtree_stats(tree);
+    let threshold = f64::from(epsilon) * f64::from(epsilon);
+    // Rebuild top-down, stopping at collapsed nodes. `map` is old id → new.
+    let mut nodes: Vec<Node> = Vec::with_capacity(tree.n_nodes());
+    build(tree, &stats, threshold, 0, &mut nodes);
+    Tree::new(nodes)
+}
+
+fn build(
+    tree: &Tree,
+    stats: &SubtreeStats,
+    threshold: f64,
+    id: NodeId,
+    out: &mut Vec<Node>,
+) -> NodeId {
+    let new_id = out.len() as NodeId;
+    let node = tree.node(id);
+    let collapse = match node {
+        Node::Leaf { .. } => true,
+        Node::Decision { .. } => stats.var[id as usize] <= threshold,
+    };
+    if collapse {
+        out.push(Node::Leaf {
+            value: stats.mean[id as usize] as f32,
+        });
+        return new_id;
+    }
+    let Node::Decision {
+        attribute,
+        threshold: split,
+        default_left,
+        left,
+        right,
+        left_prob,
+    } = *node
+    else {
+        unreachable!("leaves always collapse");
+    };
+    out.push(Node::Leaf { value: 0.0 }); // Reserved; patched below.
+    let new_left = build(tree, stats, threshold, left, out);
+    let new_right = build(tree, stats, threshold, right, out);
+    out[new_id as usize] = Node::Decision {
+        attribute,
+        threshold: split,
+        default_left,
+        left: new_left,
+        right: new_right,
+        left_prob,
+    };
+    new_id
+}
+
+/// Prunes every tree of a forest with the same tolerance.
+#[must_use]
+pub fn prune_forest(forest: &Forest, epsilon: f32) -> Forest {
+    let trees = forest.trees().iter().map(|t| prune_tree(t, epsilon)).collect();
+    Forest::new(
+        trees,
+        forest.n_attributes(),
+        forest.kind(),
+        forest.task(),
+        forest.base_score(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_datasets::{DatasetSpec, ForestKind, Scale, Task};
+
+    fn constant_subtree_tree() -> Tree {
+        // Left subtree: both leaves 2.0 (collapsible); right leaf 5.0.
+        Tree::new(vec![
+            Node::Decision {
+                attribute: 0,
+                threshold: 0.0,
+                default_left: true,
+                left: 1,
+                right: 4,
+                left_prob: 0.5,
+            },
+            Node::Decision {
+                attribute: 1,
+                threshold: 1.0,
+                default_left: false,
+                left: 2,
+                right: 3,
+                left_prob: 0.7,
+            },
+            Node::Leaf { value: 2.0 },
+            Node::Leaf { value: 2.0 },
+            Node::Leaf { value: 5.0 },
+        ])
+    }
+
+    #[test]
+    fn constant_subtrees_collapse_at_zero_epsilon() {
+        let t = prune_tree(&constant_subtree_tree(), 0.0);
+        assert_eq!(t.n_nodes(), 3, "left subtree must collapse");
+        assert_eq!(t.predict(&[-1.0, 0.0]), 2.0);
+        assert_eq!(t.predict(&[1.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn zero_epsilon_preserves_predictions_exactly() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = crate::train::train_for_spec(&spec, &data, Scale::Smoke);
+        let pruned = prune_forest(&forest, 0.0);
+        for i in 0..200 {
+            let row = data.samples.row(i);
+            let a = crate::predict::predict_sample(&forest, row);
+            let b = crate::predict::predict_sample(&pruned, row);
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert!(pruned.stats().total_nodes <= forest.stats().total_nodes);
+    }
+
+    #[test]
+    fn huge_epsilon_collapses_to_single_leaves() {
+        let t = prune_tree(&constant_subtree_tree(), 1e6);
+        assert_eq!(t.n_nodes(), 1);
+        // The single leaf is the probability-weighted mean:
+        // 0.5 * 2.0 + 0.5 * 5.0.
+        assert!((t.predict(&[0.0, 0.0]) - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn epsilon_monotonically_shrinks_trees() {
+        let spec = DatasetSpec::by_name("year").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = crate::train::train_for_spec(&spec, &data, Scale::Smoke);
+        let mut last_nodes = usize::MAX;
+        for eps in [0.0f32, 0.05, 0.2, 1.0, 10.0] {
+            let nodes = prune_forest(&forest, eps).stats().total_nodes;
+            assert!(nodes <= last_nodes, "eps {eps}: {nodes} > {last_nodes}");
+            last_nodes = nodes;
+        }
+    }
+
+    #[test]
+    fn small_epsilon_keeps_predictions_close() {
+        let spec = DatasetSpec::by_name("susy").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = crate::train::train_for_spec(&spec, &data, Scale::Smoke);
+        let eps = 0.01f32;
+        let pruned = prune_forest(&forest, eps);
+        let n_trees = forest.n_trees() as f32;
+        let mut worst = 0.0f32;
+        for i in 0..300 {
+            let row = data.samples.row(i);
+            let a = crate::predict::predict_sample(&forest, row);
+            let b = crate::predict::predict_sample(&pruned, row);
+            worst = worst.max((a - b).abs());
+        }
+        // Loose bound: per-tree expected shift is ~eps; allow generous slack
+        // for the worst case over samples.
+        assert!(
+            worst < eps * n_trees,
+            "worst shift {worst} vs bound {}",
+            eps * n_trees
+        );
+    }
+
+    #[test]
+    fn pruned_forest_keeps_metadata() {
+        let t = constant_subtree_tree();
+        let f = Forest::new(vec![t], 2, ForestKind::Gbdt, Task::Regression, 0.25);
+        let p = prune_forest(&f, 0.0);
+        assert_eq!(p.kind(), ForestKind::Gbdt);
+        assert_eq!(p.base_score(), 0.25);
+        assert_eq!(p.n_attributes(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Random-forest training (bagging + per-tree feature subsampling).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tahoe_datasets::{mix_seed, Dataset, ForestKind, Task};
+
+use crate::forest::Forest;
+use crate::train::builder::{jittered_depth, sample_features, TreeBuilder};
+use crate::train::histogram::BinnedMatrix;
+use crate::train::TrainParams;
+use crate::tree::Tree;
+
+/// Random-forest hyperparameters.
+///
+/// Trees are trained on bootstrap resamples with the `g = -y, h = 1`
+/// reduction, for which the Newton leaf value is the node's mean target —
+/// the classic regression-tree / class-probability leaf.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestParams {
+    /// Shared training hyperparameters.
+    pub base: TrainParams,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        Self {
+            base: TrainParams {
+                colsample: 0.6,
+                lambda: 0.0,
+                ..TrainParams::default()
+            },
+        }
+    }
+}
+
+/// Trains a random forest; predictions are the average of tree outputs.
+///
+/// Unlike boosting, the trees are independent, so they train in parallel
+/// (scoped threads). Each tree derives its own RNG from `(seed, tree index)`,
+/// making the result deterministic regardless of thread scheduling.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+#[must_use]
+pub fn train(params: &RandomForestParams, data: &Dataset, task: Task) -> Forest {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let n = data.len();
+    let binned = BinnedMatrix::build(&data.samples, params.base.n_bins);
+    // The RF reduction: leaf = mean(y) = -sum(g)/sum(h) with g = -y, h = 1.
+    let g: Vec<f32> = data.labels.iter().map(|y| -y).collect();
+    let h = vec![1.0f32; n];
+    let trees: Vec<Tree> = parallel_trees(params.base.n_trees, |t| {
+        let mut rng = StdRng::seed_from_u64(mix_seed(params.base.seed, t as u64));
+        let indices = bootstrap_rows(&mut rng, n);
+        let features = sample_features(&mut rng, binned.n_features(), params.base.colsample);
+        let depth = jittered_depth(&mut rng, &params.base);
+        let builder = TreeBuilder::new(&binned, &g, &h, &params.base, features, depth, 1.0);
+        builder.build(indices)
+    });
+    Forest::new(
+        trees,
+        data.samples.n_attributes() as u32,
+        ForestKind::RandomForest,
+        task,
+        0.0,
+    )
+}
+
+/// Order-preserving parallel map over tree indices (scoped threads with a
+/// shared work counter; sequential for tiny forests).
+fn parallel_trees<F>(n_trees: usize, build: F) -> Vec<Tree>
+where
+    F: Fn(usize) -> Tree + Sync,
+{
+    const SEQUENTIAL_CUTOFF: usize = 4;
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n_trees);
+    if n_trees <= SEQUENTIAL_CUTOFF || workers <= 1 {
+        return (0..n_trees).map(build).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Tree>>> = (0..n_trees).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= n_trees {
+                    break;
+                }
+                let tree = build(t);
+                *slots[t].lock().expect("tree slot lock") = Some(tree);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("tree slot lock")
+                .expect("every tree index is produced exactly once")
+        })
+        .collect()
+}
+
+/// Samples `n` row indices with replacement.
+fn bootstrap_rows(rng: &mut StdRng, n: usize) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict_dataset;
+    use tahoe_datasets::{DatasetSpec, Scale};
+
+    fn params(n_trees: usize, max_depth: usize) -> RandomForestParams {
+        RandomForestParams {
+            base: TrainParams {
+                n_trees,
+                max_depth,
+                lambda: 0.0,
+                ..TrainParams::default()
+            },
+        }
+    }
+
+    #[test]
+    fn rf_beats_majority_class() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train_d, infer_d) = data.split_train_infer();
+        let forest = train(&params(25, 4), &train_d, Task::BinaryClassification);
+        let preds = predict_dataset(&forest, &infer_d.samples);
+        let majority = {
+            let pos = infer_d.labels.iter().filter(|&&y| y == 1.0).count() as f64
+                / infer_d.labels.len() as f64;
+            pos.max(1.0 - pos)
+        };
+        let acc = preds
+            .iter()
+            .zip(&infer_d.labels)
+            .filter(|(p, &y)| (**p > 0.5) == (y == 1.0))
+            .count() as f64
+            / preds.len() as f64;
+        assert!(acc > majority, "accuracy {acc} not above majority {majority}");
+    }
+
+    #[test]
+    fn rf_predictions_are_probabilities_for_binary_labels() {
+        let spec = DatasetSpec::by_name("phishing").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = train(&params(10, 4), &data, Task::BinaryClassification);
+        let preds = predict_dataset(&forest, &data.samples);
+        assert!(preds.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn training_is_deterministic_despite_parallelism() {
+        let spec = DatasetSpec::by_name("ijcnn1").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let a = train(&params(16, 4), &data, Task::BinaryClassification);
+        let b = train(&params(16, 4), &data, Task::BinaryClassification);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depth_jitter_produces_varied_depths() {
+        let spec = DatasetSpec::by_name("aloi").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let p = RandomForestParams {
+            base: TrainParams {
+                n_trees: 20,
+                max_depth: 8,
+                depth_jitter: true,
+                ..TrainParams::default()
+            },
+        };
+        let forest = train(&p, &data, Task::BinaryClassification);
+        let depths: std::collections::BTreeSet<usize> =
+            forest.trees().iter().map(crate::tree::Tree::depth).collect();
+        assert!(depths.len() >= 3, "expected varied depths, got {depths:?}");
+    }
+
+    #[test]
+    fn bootstrap_rows_have_duplicates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows = bootstrap_rows(&mut rng, 1_000);
+        assert_eq!(rows.len(), 1_000);
+        let distinct: std::collections::BTreeSet<u32> = rows.iter().copied().collect();
+        // With replacement, ~63 % distinct is expected.
+        assert!(distinct.len() < 800);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the training substrate's invariants.
+
+use proptest::prelude::*;
+
+use tahoe_datasets::{Dataset, ForestKind, SampleMatrix, Task};
+use tahoe_forest::train::gbdt::{self, GbdtParams};
+use tahoe_forest::train::random_forest::{self, RandomForestParams};
+use tahoe_forest::train::TrainParams;
+use tahoe_forest::{predict_dataset, predict_sample};
+
+/// A deterministic dataset with a learnable threshold rule.
+fn threshold_dataset(n: usize, d: usize, seed: u64, label_noise: bool) -> Dataset {
+    let mut values = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let start = values.len();
+        for _ in 0..d {
+            values.push((next() % 1000) as f32 / 100.0 - 5.0);
+        }
+        let pivot = values[start];
+        let noisy = label_noise && next() % 20 == 0;
+        let raw = pivot > 0.0;
+        labels.push(f32::from(u8::from(raw != noisy)));
+    }
+    Dataset::new("prop", SampleMatrix::from_vec(n, d, values), labels)
+}
+
+fn params(n_trees: usize, depth: usize) -> TrainParams {
+    TrainParams {
+        n_trees,
+        max_depth: depth,
+        depth_jitter: false,
+        ..TrainParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gbdt_respects_structural_limits(
+        seed in 1u64..100_000,
+        n_trees in 1usize..12,
+        depth in 1usize..5,
+    ) {
+        let data = threshold_dataset(256, 4, seed, true);
+        let p = GbdtParams {
+            base: params(n_trees, depth),
+            ..GbdtParams::default()
+        };
+        let forest = gbdt::train(&p, &data, Task::BinaryClassification);
+        prop_assert_eq!(forest.n_trees(), n_trees);
+        prop_assert_eq!(forest.kind(), ForestKind::Gbdt);
+        for tree in forest.trees() {
+            prop_assert!(tree.depth() <= depth, "depth {} > {}", tree.depth(), depth);
+            prop_assert!(tree.n_nodes() >= 1);
+            prop_assert_eq!(tree.n_leaves(), tree.n_nodes() / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn left_probs_are_valid_probabilities(
+        seed in 1u64..100_000,
+        n_trees in 1usize..8,
+    ) {
+        let data = threshold_dataset(200, 3, seed, true);
+        let p = RandomForestParams { base: params(n_trees, 4) };
+        let forest = random_forest::train(&p, &data, Task::BinaryClassification);
+        for tree in forest.trees() {
+            for node in tree.nodes() {
+                if let tahoe_forest::Node::Decision { left_prob, .. } = node {
+                    prop_assert!(*left_prob > 0.0 && *left_prob < 1.0,
+                        "left_prob {} out of (0,1)", left_prob);
+                }
+            }
+            // Node probabilities are a valid distribution over leaves.
+            let probs = tree.node_probabilities();
+            let leaf_mass: f32 = tree
+                .nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.is_leaf())
+                .map(|(i, _)| probs[i])
+                .sum();
+            prop_assert!((leaf_mass - 1.0).abs() < 1e-3, "leaf mass {}", leaf_mass);
+        }
+    }
+
+    #[test]
+    fn predictions_are_finite_even_with_missing_values(
+        seed in 1u64..100_000,
+        missing_lane in 0usize..3,
+    ) {
+        let data = threshold_dataset(200, 3, seed, false);
+        let p = GbdtParams {
+            base: params(5, 3),
+            ..GbdtParams::default()
+        };
+        let forest = gbdt::train(&p, &data, Task::BinaryClassification);
+        let mut sample = data.samples.row(0).to_vec();
+        sample[missing_lane] = f32::NAN;
+        let pred = predict_sample(&forest, &sample);
+        prop_assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn rf_predictions_are_convex_combinations_of_leaves(
+        seed in 1u64..100_000,
+    ) {
+        // With 0/1 targets, every RF leaf value lies in [0, 1], so the
+        // average over trees must too.
+        let data = threshold_dataset(300, 3, seed, true);
+        let p = RandomForestParams { base: params(9, 4) };
+        let forest = random_forest::train(&p, &data, Task::BinaryClassification);
+        let preds = predict_dataset(&forest, &data.samples);
+        for p in preds {
+            prop_assert!((-1e-4..=1.0 + 1e-4).contains(&p), "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn more_boosting_rounds_do_not_hurt_training_fit(
+        seed in 1u64..100_000,
+    ) {
+        let data = threshold_dataset(400, 3, seed, false);
+        let loss = |n_trees: usize| {
+            let p = GbdtParams {
+                base: params(n_trees, 3),
+                subsample: 1.0,
+                ..GbdtParams::default()
+            };
+            let forest = gbdt::train(&p, &data, Task::BinaryClassification);
+            let preds = predict_dataset(&forest, &data.samples);
+            preds
+                .iter()
+                .zip(&data.labels)
+                .map(|(score, y)| {
+                    // Logistic loss on the raw score.
+                    let s = f64::from(*score);
+                    let y = f64::from(*y);
+                    (1.0 + s.exp()).ln() - y * s
+                })
+                .sum::<f64>()
+        };
+        let few = loss(2);
+        let many = loss(12);
+        prop_assert!(many <= few * 1.001, "training loss rose: {few} -> {many}");
+    }
+}

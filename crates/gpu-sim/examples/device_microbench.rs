@@ -1,0 +1,33 @@
+//! Prints the measured hardware parameters of the three paper GPUs —
+//! the "offline" step of the paper's Algorithm 1 (line 4).
+//!
+//! ```text
+//! cargo run --release -p tahoe-gpu-sim --example device_microbench
+//! ```
+
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::measure;
+
+fn main() {
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "device", "gmem coa", "gmem nco", "smem r", "smem w", "lat g", "lat s", "B_rate", "G_rate"
+    );
+    for device in DeviceSpec::paper_devices() {
+        let p = measure(&device);
+        println!(
+            "{:<12} {:>9.1} {:>9.1} {:>9.0} {:>9.0} {:>8.0} {:>8.0} {:>8.1} {:>8.1}",
+            device.name,
+            p.bw_r_gmem_coa,
+            p.bw_r_gmem_ncoa,
+            p.bw_r_smem,
+            p.bw_w_smem,
+            p.lat_gmem,
+            p.lat_smem,
+            p.b_rate,
+            p.g_rate,
+        );
+    }
+    println!("\nbandwidths in bytes/ns (≈ GB/s); latencies and rates in ns");
+    println!("these are the Table 1 'hardware parameters' the performance models consume");
+}

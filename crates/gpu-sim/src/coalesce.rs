@@ -1,0 +1,186 @@
+//! Per-warp memory-transaction coalescing analysis.
+//!
+//! One warp step issues up to 32 addresses (one per active lane). The memory
+//! system serves them in `transaction_bytes`-sized chunks; lanes whose
+//! addresses fall in the same chunk share one transaction. The ratio of
+//! *requested* bytes (what the lanes asked for) to *fetched* bytes
+//! (transactions × transaction size) is the paper's global-load-efficiency
+//! metric (§3: "ratio of requested data to total fetched data").
+
+use serde::{Deserialize, Serialize};
+
+/// Counts distinct transactions covering `addrs`, each access `elem_bytes`
+/// wide. `addrs` is scratch space and is sorted in place.
+///
+/// An access that straddles a transaction boundary counts every transaction
+/// it touches.
+#[must_use]
+pub fn count_transactions(addrs: &mut [u64], elem_bytes: u64, txn_bytes: u64) -> u64 {
+    debug_assert!(txn_bytes.is_power_of_two());
+    if addrs.is_empty() {
+        return 0;
+    }
+    addrs.sort_unstable();
+    let shift = txn_bytes.trailing_zeros();
+    let mut txns = 0u64;
+    // Highest line already fetched; `None` before the first access.
+    let mut last: Option<u64> = None;
+    for &a in addrs.iter() {
+        let first_line = a >> shift;
+        let last_line = (a + elem_bytes - 1) >> shift;
+        // Lines up to and including `last` are already fetched.
+        let from = match last {
+            Some(l) => first_line.max(l + 1),
+            None => first_line,
+        };
+        if from <= last_line {
+            txns += last_line - from + 1;
+            last = Some(last_line);
+        }
+    }
+    txns
+}
+
+/// Mean absolute address distance between adjacent active lanes.
+///
+/// This is the metric of the paper's Figure 2(a): "average distance of two
+/// addresses accessed by two threads with adjacent thread IDs within the same
+/// warp". `addrs` must be in lane order (not sorted).
+#[must_use]
+pub fn adjacent_lane_distance(addrs: &[u64]) -> Option<f64> {
+    if addrs.len() < 2 {
+        return None;
+    }
+    let mut sum = 0.0f64;
+    for w in addrs.windows(2) {
+        sum += w[0].abs_diff(w[1]) as f64;
+    }
+    Some(sum / (addrs.len() - 1) as f64)
+}
+
+/// Accumulated access statistics for one address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Bytes the lanes asked for.
+    pub requested_bytes: u64,
+    /// Bytes the memory system moved (transactions × transaction size for
+    /// global memory; equal to requested for shared memory).
+    pub fetched_bytes: u64,
+    /// Number of memory transactions.
+    pub transactions: u64,
+    /// Number of warp steps that accessed this space.
+    pub steps: u64,
+}
+
+impl AccessStats {
+    /// The efficiency metric: requested / fetched (1.0 when nothing fetched).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        if self.fetched_bytes == 0 {
+            1.0
+        } else {
+            self.requested_bytes as f64 / self.fetched_bytes as f64
+        }
+    }
+
+    /// Accumulates another stats block.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.requested_bytes += other.requested_bytes;
+        self.fetched_bytes += other.fetched_bytes;
+        self.transactions += other.transactions;
+        self.steps += other.steps;
+    }
+
+    /// Returns these stats scaled by an extrapolation factor (used when only
+    /// a subset of blocks was simulated in detail).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> AccessStats {
+        let scale = |v: u64| (v as f64 * factor).round() as u64;
+        AccessStats {
+            requested_bytes: scale(self.requested_bytes),
+            fetched_bytes: scale(self.fetched_bytes),
+            transactions: scale(self.transactions),
+            steps: scale(self.steps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_is_one_transaction() {
+        // 32 consecutive 4-byte accesses starting at a 128B boundary.
+        let mut addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+        assert_eq!(count_transactions(&mut addrs, 4, 128), 1);
+    }
+
+    #[test]
+    fn fully_scattered_warp_is_32_transactions() {
+        let mut addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4096).collect();
+        assert_eq!(count_transactions(&mut addrs, 4, 128), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_share_a_transaction() {
+        let mut addrs = vec![0x1000u64; 32];
+        assert_eq!(count_transactions(&mut addrs, 4, 128), 1);
+    }
+
+    #[test]
+    fn straddling_access_counts_both_lines() {
+        let mut addrs = vec![0x1000u64 + 126];
+        assert_eq!(count_transactions(&mut addrs, 4, 128), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut addrs = vec![0x1100u64, 0x1000, 0x1080, 0x1004];
+        // Lines: 0x1000/0x1080/0x1100 → 3 transactions.
+        assert_eq!(count_transactions(&mut addrs, 4, 128), 3);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let mut addrs: Vec<u64> = vec![];
+        assert_eq!(count_transactions(&mut addrs, 4, 128), 0);
+    }
+
+    #[test]
+    fn adjacent_distance_averages_gaps() {
+        let addrs = vec![100u64, 104, 112];
+        let d = adjacent_lane_distance(&addrs).unwrap();
+        assert!((d - 6.0).abs() < 1e-12);
+        assert!(adjacent_lane_distance(&[1]).is_none());
+    }
+
+    #[test]
+    fn efficiency_and_merge() {
+        let mut a = AccessStats {
+            requested_bytes: 128,
+            fetched_bytes: 256,
+            transactions: 2,
+            steps: 1,
+        };
+        assert!((a.efficiency() - 0.5).abs() < 1e-12);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.requested_bytes, 256);
+        assert_eq!(a.transactions, 4);
+        assert!((AccessStats::default().efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_counters() {
+        let a = AccessStats {
+            requested_bytes: 100,
+            fetched_bytes: 200,
+            transactions: 10,
+            steps: 5,
+        };
+        let s = a.scaled(2.5);
+        assert_eq!(s.requested_bytes, 250);
+        assert_eq!(s.steps, 13); // Rounded.
+    }
+}

@@ -1,0 +1,449 @@
+//! Kernel-level scheduling: occupancy waves, bandwidth rooflines, and
+//! device-time extrapolation from sampled blocks.
+//!
+//! Launch grids in the paper's experiments reach hundreds of thousands of
+//! blocks; simulating every block in detail would make the reproduction
+//! unusable. [`KernelSim`] therefore simulates a deterministic, evenly-spaced
+//! subset of blocks in detail and extrapolates: traversal statistics scale by
+//! `grid / sampled`, and device time schedules `grid` blocks of the sampled
+//! mean cost across the occupancy-limited concurrency.
+//!
+//! # Timing model
+//!
+//! Each sampled block's wall time is a per-block roofline:
+//!
+//! ```text
+//! block_wall = max(critical_path,
+//!                  gmem_bytes / (device_gmem_bw / resident_blocks),
+//!                  smem_bytes / (device_smem_bw / resident_blocks))
+//!              + block_reductions
+//! ```
+//!
+//! where `resident_blocks = min(grid, concurrent)` blocks share the device's
+//! bandwidth. Kernel time then takes the worst of the wave-scheduled latency
+//! bound and the device-wide bandwidth bounds, so aggregate throughput can
+//! never exceed the device's peak:
+//!
+//! ```text
+//! kernel = max(waves × mean(block_wall),
+//!              total_gmem_bytes / device_gmem_bw,
+//!              total_smem_bytes / device_smem_bw,
+//!              max(block_wall))
+//!          + global_reductions
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::block::{BlockResult, BlockSim};
+use crate::coalesce::AccessStats;
+use crate::device::DeviceSpec;
+use crate::occupancy::{concurrent_blocks, waves};
+use crate::warp::LevelStats;
+
+/// How many blocks to simulate in detail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Detail {
+    /// Simulate every block.
+    Full,
+    /// Simulate at most this many, evenly spaced across the grid.
+    Sampled(usize),
+}
+
+impl Detail {
+    /// Default cap used by the experiment harness.
+    pub const DEFAULT_SAMPLED: Detail = Detail::Sampled(48);
+}
+
+/// Deterministic, evenly-spaced sample of block indices.
+#[must_use]
+pub fn sample_plan(grid_blocks: usize, detail: Detail) -> Vec<usize> {
+    match detail {
+        Detail::Full => (0..grid_blocks).collect(),
+        Detail::Sampled(cap) => {
+            let cap = cap.max(1);
+            if grid_blocks <= cap {
+                (0..grid_blocks).collect()
+            } else {
+                (0..cap).map(|i| i * grid_blocks / cap).collect()
+            }
+        }
+    }
+}
+
+/// Kernel launch description + accumulated sampled blocks.
+pub struct KernelSim<'d> {
+    device: &'d DeviceSpec,
+    grid_blocks: usize,
+    threads_per_block: usize,
+    smem_per_block: usize,
+    sampled: Vec<BlockResult>,
+    global_reduction_ns: f64,
+}
+
+impl<'d> KernelSim<'d> {
+    /// Describes a kernel launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid or a block shape the device cannot run
+    /// (delegated to the occupancy calculator).
+    #[must_use]
+    pub fn new(
+        device: &'d DeviceSpec,
+        grid_blocks: usize,
+        threads_per_block: usize,
+        smem_per_block: usize,
+    ) -> Self {
+        assert!(grid_blocks > 0, "kernel launched with an empty grid");
+        // Validate the shape eagerly (panics on impossible configurations).
+        let _ = concurrent_blocks(device, threads_per_block, smem_per_block);
+        Self {
+            device,
+            grid_blocks,
+            threads_per_block,
+            smem_per_block,
+            sampled: Vec::new(),
+            global_reduction_ns: 0.0,
+        }
+    }
+
+    /// The device of this launch.
+    #[must_use]
+    pub fn device(&self) -> &'d DeviceSpec {
+        self.device
+    }
+
+    /// Grid size in blocks.
+    #[must_use]
+    pub fn grid_blocks(&self) -> usize {
+        self.grid_blocks
+    }
+
+    /// Block size in threads.
+    #[must_use]
+    pub fn threads_per_block(&self) -> usize {
+        self.threads_per_block
+    }
+
+    /// Starts tracing one block.
+    #[must_use]
+    pub fn block(&self) -> BlockSim<'d> {
+        BlockSim::new(self.device)
+    }
+
+    /// Records a finished sampled block.
+    pub fn push_block(&mut self, block: BlockResult) {
+        self.sampled.push(block);
+    }
+
+    /// Records one device-wide segmented reduction over `n_blocks` partial
+    /// results (cub::DeviceSegmentedReduce-style). Returns the cost charged.
+    pub fn global_reduce(&mut self, n_blocks: usize) -> f64 {
+        let cost = self.device.global_reduce_base_ns
+            + self.device.global_reduce_ns_per_block * n_blocks as f64;
+        self.global_reduction_ns += cost;
+        cost
+    }
+
+    /// As [`Self::global_reduce`], additionally charging the bandwidth cost
+    /// of streaming `n_values` partial values of `value_bytes` each through
+    /// global memory (a segmented reduce is a full pass over its inputs).
+    pub fn global_reduce_values(
+        &mut self,
+        n_blocks: usize,
+        n_values: u64,
+        value_bytes: u64,
+    ) -> f64 {
+        let fixed = self.global_reduce(n_blocks);
+        let stream = (n_values * value_bytes) as f64 / self.device.gmem_bytes_per_ns;
+        self.global_reduction_ns += stream;
+        fixed + stream
+    }
+
+    /// Finalizes the launch, extrapolating from the sampled blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block was simulated.
+    #[must_use]
+    pub fn finish(self) -> KernelResult {
+        assert!(!self.sampled.is_empty(), "no blocks were simulated");
+        let n_sampled = self.sampled.len();
+        let scale = self.grid_blocks as f64 / n_sampled as f64;
+        let concurrent =
+            concurrent_blocks(self.device, self.threads_per_block, self.smem_per_block);
+        let resident = concurrent.min(self.grid_blocks).max(1);
+        let gmem_share = self.device.gmem_bytes_per_ns / resident as f64;
+        let smem_share = self.device.smem_bytes_per_ns / resident as f64;
+
+        let mut gmem = AccessStats::default();
+        let mut smem = AccessStats::default();
+        let mut levels: BTreeMap<u32, LevelStats> = BTreeMap::new();
+        let mut thread_busy_per_block: Vec<Vec<f64>> = Vec::new();
+        let mut sum_wall = 0.0f64;
+        let mut max_wall = 0.0f64;
+        let mut sum_reduction = 0.0f64;
+        let mut sum_critical = 0.0f64;
+        let mut steps = 0u64;
+        let mut active_lane_steps = 0u64;
+        for b in &self.sampled {
+            gmem.merge(&b.gmem);
+            smem.merge(&b.smem);
+            let bw_ns = (b.gmem.fetched_bytes as f64 / gmem_share)
+                .max(b.smem.fetched_bytes as f64 / smem_share);
+            let wall = b.critical_ns.max(bw_ns) + b.reduction_ns;
+            sum_wall += wall;
+            max_wall = max_wall.max(wall);
+            sum_reduction += b.reduction_ns;
+            sum_critical += b.critical_ns;
+            steps += b.steps;
+            active_lane_steps += b.active_lane_steps;
+            thread_busy_per_block.push(b.thread_busy_ns.clone());
+            for (lvl, stats) in &b.levels {
+                levels.entry(*lvl).or_default().merge(stats);
+            }
+        }
+        let mean_wall = sum_wall / n_sampled as f64;
+        let mean_reduction = sum_reduction / n_sampled as f64;
+        let mean_critical = sum_critical / n_sampled as f64;
+        let n_waves = waves(self.grid_blocks, concurrent);
+        let gmem_total = gmem.scaled(scale);
+        let smem_total = smem.scaled(scale);
+        let latency_bound = n_waves as f64 * mean_wall;
+        let gmem_bound = gmem_total.fetched_bytes as f64 / self.device.gmem_bytes_per_ns;
+        let smem_bound = smem_total.fetched_bytes as f64 / self.device.smem_bytes_per_ns;
+        let scheduled = latency_bound.max(gmem_bound).max(smem_bound).max(max_wall);
+        let block_reduction_wall = n_waves as f64 * mean_reduction;
+        KernelResult {
+            grid_blocks: self.grid_blocks,
+            threads_per_block: self.threads_per_block,
+            sampled_blocks: n_sampled,
+            concurrent_blocks: concurrent,
+            total_ns: scheduled + self.global_reduction_ns,
+            block_reduction_wall_ns: block_reduction_wall,
+            global_reduction_ns: self.global_reduction_ns,
+            mean_block_wall_ns: mean_wall,
+            mean_block_critical_ns: mean_critical,
+            max_block_wall_ns: max_wall,
+            gmem: gmem_total,
+            smem: smem_total,
+            thread_busy_per_block,
+            levels,
+            steps,
+            active_lane_steps,
+            warp_size: self.device.warp_size,
+        }
+    }
+}
+
+/// Completed-kernel summary.
+#[derive(Clone, Debug)]
+pub struct KernelResult {
+    /// Grid size in blocks.
+    pub grid_blocks: usize,
+    /// Block size in threads.
+    pub threads_per_block: usize,
+    /// Number of blocks simulated in detail.
+    pub sampled_blocks: usize,
+    /// Occupancy-limited concurrent blocks on the device.
+    pub concurrent_blocks: usize,
+    /// Simulated wall-clock time of the launch (ns), including reductions.
+    pub total_ns: f64,
+    /// Wall-clock time attributable to block-wide reductions
+    /// (waves × mean per-block reduction).
+    pub block_reduction_wall_ns: f64,
+    /// Wall-clock time of device-wide reductions (ns).
+    pub global_reduction_ns: f64,
+    /// Mean sampled per-block wall time (ns).
+    pub mean_block_wall_ns: f64,
+    /// Mean sampled per-block critical path (ns), before bandwidth bounds.
+    pub mean_block_critical_ns: f64,
+    /// Max sampled per-block wall time (ns).
+    pub max_block_wall_ns: f64,
+    /// Extrapolated global-memory statistics.
+    pub gmem: AccessStats,
+    /// Extrapolated shared-memory statistics.
+    pub smem: AccessStats,
+    /// Per-thread busy times of each sampled block (imbalance metrics; the
+    /// paper's A.C.V. averages the coefficient of variation per block).
+    pub thread_busy_per_block: Vec<Vec<f64>>,
+    /// Per-level statistics merged over sampled blocks.
+    pub levels: BTreeMap<u32, LevelStats>,
+    /// Total lockstep steps over sampled blocks.
+    pub steps: u64,
+    /// Sum of active lanes over those steps.
+    pub active_lane_steps: u64,
+    /// Warp width of the device (SIMT-efficiency denominator).
+    pub warp_size: u32,
+}
+
+impl KernelResult {
+    /// Fraction of wall-clock time spent reducing.
+    #[must_use]
+    pub fn reduction_fraction(&self) -> f64 {
+        if self.total_ns == 0.0 {
+            return 0.0;
+        }
+        ((self.block_reduction_wall_ns + self.global_reduction_ns) / self.total_ns).min(1.0)
+    }
+
+    /// SIMT efficiency: mean fraction of warp lanes active per step.
+    ///
+    /// Warp divergence — lanes idling because their tree finished earlier or
+    /// their branch diverged — shows up here; the tree-similarity
+    /// rearrangement's within-warp benefit is exactly raising this number.
+    #[must_use]
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.steps == 0 {
+            return 1.0;
+        }
+        self.active_lane_steps as f64 / (self.steps * u64::from(self.warp_size)) as f64
+    }
+
+    /// Simulated global-memory throughput in bytes/ns (≈ GB/s).
+    #[must_use]
+    pub fn gmem_throughput(&self) -> f64 {
+        if self.total_ns == 0.0 {
+            0.0
+        } else {
+            self.gmem.fetched_bytes as f64 / self.total_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_plan_full_covers_grid() {
+        assert_eq!(sample_plan(5, Detail::Full), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_plan_sampled_is_evenly_spaced_and_capped() {
+        let plan = sample_plan(100, Detail::Sampled(4));
+        assert_eq!(plan, vec![0, 25, 50, 75]);
+        let small = sample_plan(3, Detail::Sampled(10));
+        assert_eq!(small, vec![0, 1, 2]);
+    }
+
+    fn run_kernel(device: &DeviceSpec, grid: usize, detail: Detail) -> KernelResult {
+        let mut k = KernelSim::new(device, grid, 64, 0);
+        for _idx in sample_plan(grid, detail) {
+            let mut b = k.block();
+            let mut w = b.warp();
+            let accesses: Vec<(u8, u64)> = (0..32).map(|i| (i as u8, 0x1000 + i * 4)).collect();
+            for _ in 0..10 {
+                w.gmem_read(&accesses, 4, None);
+            }
+            b.push_warp(w.finish());
+            b.block_reduce(64);
+            k.push_block(b.finish());
+        }
+        k.finish()
+    }
+
+    #[test]
+    fn sampled_extrapolation_matches_full_for_uniform_blocks() {
+        let d = DeviceSpec::tesla_p100();
+        let full = run_kernel(&d, 64, Detail::Full);
+        let sampled = run_kernel(&d, 64, Detail::Sampled(8));
+        assert!((full.total_ns - sampled.total_ns).abs() / full.total_ns < 1e-9);
+        assert_eq!(full.gmem.fetched_bytes, sampled.gmem.fetched_bytes);
+        assert!(
+            (full.block_reduction_wall_ns - sampled.block_reduction_wall_ns).abs()
+                / full.block_reduction_wall_ns
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn more_blocks_than_concurrency_adds_waves() {
+        let d = DeviceSpec::tesla_p100();
+        let concurrent = concurrent_blocks(&d, 64, 0);
+        let one_wave = run_kernel(&d, concurrent, Detail::Sampled(4));
+        let two_waves = run_kernel(&d, concurrent + 1, Detail::Sampled(4));
+        assert!(two_waves.total_ns > 1.9 * one_wave.total_ns);
+    }
+
+    #[test]
+    fn aggregate_throughput_never_exceeds_device_bandwidth() {
+        // A bandwidth-saturating uncoalesced kernel must be bounded by peak.
+        for d in DeviceSpec::paper_devices() {
+            let threads = 256usize;
+            let grid = concurrent_blocks(&d, threads, 0) * 3;
+            let mut k = KernelSim::new(&d, grid, threads, 0);
+            let mut b = k.block();
+            for w_idx in 0..threads / 32 {
+                let mut w = b.warp();
+                for s in 0..32u64 {
+                    let base = 0x1000_0000 + (w_idx as u64 * 32 + s) * 4096 * 32;
+                    let accesses: Vec<(u8, u64)> =
+                        (0..32).map(|i| (i as u8, base + i * 4096)).collect();
+                    w.gmem_read(&accesses, 4, None);
+                }
+                b.push_warp(w.finish());
+            }
+            k.push_block(b.finish());
+            let r = k.finish();
+            assert!(
+                r.gmem_throughput() <= d.gmem_bytes_per_ns * 1.001,
+                "{}: throughput {} exceeds peak {}",
+                d.name,
+                r.gmem_throughput(),
+                d.gmem_bytes_per_ns
+            );
+        }
+    }
+
+    #[test]
+    fn single_block_cannot_use_whole_device_bandwidth() {
+        let d = DeviceSpec::tesla_p100();
+        let mut k = KernelSim::new(&d, 1, 64, 0);
+        let mut b = k.block();
+        let mut w = b.warp();
+        for s in 0..1_000u64 {
+            let accesses: Vec<(u8, u64)> =
+                (0..32).map(|i| (i as u8, 0x1000_0000 + s * 128 * 32 + i * 4)).collect();
+            w.gmem_read(&accesses, 4, None);
+        }
+        b.push_warp(w.finish());
+        k.push_block(b.finish());
+        let r = k.finish();
+        // One resident block gets the full bandwidth share in this model, but
+        // the latency-dominated critical path keeps throughput far below it.
+        assert!(r.gmem_throughput() < 0.2 * d.gmem_bytes_per_ns);
+    }
+
+    #[test]
+    fn global_reduce_adds_wall_clock_time() {
+        let d = DeviceSpec::tesla_v100();
+        let mut k = KernelSim::new(&d, 4, 32, 0);
+        let mut b = k.block();
+        let mut w = b.warp();
+        w.gmem_read(&[(0, 0x1000)], 4, None);
+        b.push_warp(w.finish());
+        k.push_block(b.finish());
+        let cost = k.global_reduce(4);
+        let r = k.finish();
+        assert!((r.global_reduction_ns - cost).abs() < 1e-9);
+        assert!(r.total_ns >= cost);
+    }
+
+    #[test]
+    fn reduction_fraction_is_bounded_and_positive() {
+        let d = DeviceSpec::tesla_k80();
+        let r = run_kernel(&d, 16, Detail::Full);
+        let f = r.reduction_fraction();
+        assert!(f > 0.0 && f <= 1.0, "fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no blocks were simulated")]
+    fn finishing_without_blocks_panics() {
+        let d = DeviceSpec::tesla_k80();
+        let k = KernelSim::new(&d, 4, 32, 0);
+        let _ = k.finish();
+    }
+}

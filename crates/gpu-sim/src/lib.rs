@@ -1,0 +1,69 @@
+//! Trace-driven GPU execution simulator — the hardware substrate of the
+//! Tahoe (EuroSys '21) reproduction.
+//!
+//! The paper's evaluation runs CUDA kernels on Tesla K80/P100/V100 GPUs and
+//! measures memory-system effects: transaction coalescing, shared-memory
+//! capacity and bandwidth, reduction overheads, warp/block load imbalance,
+//! and occupancy-limited scheduling. This crate models exactly those
+//! mechanisms:
+//!
+//! - [`device`] — per-generation device parameters (three paper GPUs).
+//! - [`memory`] — simulated global address space (addresses only; data stays
+//!   in host slices).
+//! - [`coalesce`] — per-warp-step transaction coalescing and the
+//!   requested/fetched efficiency metric.
+//! - [`warp`] — lockstep warp tracer with per-lane busy times and per-level
+//!   statistics.
+//! - [`block`] — block timing: `max(bandwidth bound, critical path) +
+//!   reductions`.
+//! - [`kernel`] — grid scheduling in occupancy-limited waves, with
+//!   deterministic block sampling + extrapolation for huge grids.
+//! - [`reduction`] — functional tree reductions (cub-order).
+//! - [`occupancy`] — residency limits.
+//! - [`microbench`] — "offline" hardware-parameter measurement feeding the
+//!   paper's performance models (Algorithm 1, line 4).
+//! - [`multigpu`] — data-parallel multi-device runs (§7.5 scaling).
+//! - [`metrics`] — CV / A.C.V. imbalance statistics.
+//! - [`parallel`] — host-side parallel map for simulation work.
+//!
+//! # Examples
+//!
+//! ```
+//! use tahoe_gpu_sim::device::DeviceSpec;
+//! use tahoe_gpu_sim::kernel::{sample_plan, Detail, KernelSim};
+//!
+//! let device = DeviceSpec::tesla_p100();
+//! let mut kernel = KernelSim::new(&device, 128, 256, 0);
+//! for _block in sample_plan(128, Detail::Sampled(8)) {
+//!     let mut block = kernel.block();
+//!     let mut warp = block.warp();
+//!     let accesses: Vec<(u8, u64)> = (0..32).map(|i| (i as u8, 0x1000 + i * 4)).collect();
+//!     warp.gmem_read(&accesses, 4, None);
+//!     block.push_warp(warp.finish());
+//!     kernel.push_block(block.finish());
+//! }
+//! let result = kernel.finish();
+//! assert!(result.total_ns > 0.0);
+//! assert!((result.gmem.efficiency() - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod block;
+pub mod coalesce;
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod metrics;
+pub mod microbench;
+pub mod multigpu;
+pub mod occupancy;
+pub mod parallel;
+pub mod reduction;
+pub mod warp;
+
+pub use block::{BlockResult, BlockSim};
+pub use coalesce::AccessStats;
+pub use device::{Arch, DeviceSpec};
+pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
+pub use memory::{DeviceMemory, GlobalBuffer};
+pub use microbench::{measure, MeasuredParams};
+pub use warp::{LevelStats, WarpResult, WarpSim};

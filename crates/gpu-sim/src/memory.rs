@@ -1,0 +1,136 @@
+//! Simulated device address spaces.
+//!
+//! The simulator never stores data at these addresses — kernels keep their
+//! functional data in ordinary Rust slices. Addresses exist purely so the
+//! coalescing analyzer can reason about which accesses share a memory
+//! transaction, exactly as `nvprof`'s global-load-efficiency counters do.
+
+use serde::{Deserialize, Serialize};
+
+/// Base of the simulated global address space (arbitrary, non-zero so that
+/// address arithmetic bugs surface as wild addresses rather than plausible
+/// small offsets).
+pub const GLOBAL_BASE: u64 = 0x1_0000_0000;
+
+/// A bump allocator for simulated global memory.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    next: u64,
+    allocated: u64,
+}
+
+impl Default for DeviceMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceMemory {
+    /// A fresh, empty address space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            next: GLOBAL_BASE,
+            allocated: 0,
+        }
+    }
+
+    /// Allocates `bytes` of simulated global memory, 256-byte aligned
+    /// (cudaMalloc guarantees at least that).
+    #[must_use]
+    pub fn alloc(&mut self, bytes: u64) -> GlobalBuffer {
+        const ALIGN: u64 = 256;
+        let base = self.next.div_ceil(ALIGN) * ALIGN;
+        self.next = base + bytes;
+        self.allocated += bytes;
+        GlobalBuffer { base, bytes }
+    }
+
+    /// Total bytes allocated so far.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+}
+
+/// A simulated global-memory allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalBuffer {
+    /// First byte address.
+    pub base: u64,
+    /// Allocation size in bytes.
+    pub bytes: u64,
+}
+
+impl GlobalBuffer {
+    /// Address of byte `offset` within the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is out of bounds — a simulated segfault, which is
+    /// always a kernel-authoring bug.
+    #[must_use]
+    pub fn addr(&self, offset: u64) -> u64 {
+        assert!(
+            offset < self.bytes,
+            "simulated OOB access: offset {offset} in {}-byte buffer",
+            self.bytes
+        );
+        self.base + offset
+    }
+
+    /// Address of element `index` of an array of `elem_bytes`-sized elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element extends past the end of the buffer.
+    #[must_use]
+    pub fn elem_addr(&self, index: u64, elem_bytes: u64) -> u64 {
+        let offset = index * elem_bytes;
+        assert!(
+            offset + elem_bytes <= self.bytes,
+            "simulated OOB access: element {index} x {elem_bytes}B in {}-byte buffer",
+            self.bytes
+        );
+        self.base + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(100);
+        let b = mem.alloc(100);
+        assert_eq!(a.base % 256, 0);
+        assert_eq!(b.base % 256, 0);
+        assert!(b.base >= a.base + a.bytes);
+        assert_eq!(mem.allocated_bytes(), 200);
+    }
+
+    #[test]
+    fn elem_addr_computes_strided_addresses() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(64);
+        assert_eq!(buf.elem_addr(3, 4), buf.base + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated OOB")]
+    fn oob_offset_panics() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(16);
+        let _ = buf.addr(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated OOB")]
+    fn oob_elem_panics() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(16);
+        let _ = buf.elem_addr(4, 4); // Bytes 16..20 are past the end.
+    }
+}

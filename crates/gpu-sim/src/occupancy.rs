@@ -1,0 +1,103 @@
+//! Block-residency (occupancy) calculation.
+
+use crate::device::DeviceSpec;
+
+/// Number of blocks the whole device can run concurrently, limited by SM
+/// count, per-SM thread capacity, per-SM block slots, and per-SM shared
+/// memory.
+///
+/// # Panics
+///
+/// Panics if `threads_per_block` is zero or exceeds the device limit, or if
+/// the block's shared-memory demand exceeds the per-block capacity.
+#[must_use]
+pub fn concurrent_blocks(
+    device: &DeviceSpec,
+    threads_per_block: usize,
+    smem_per_block: usize,
+) -> usize {
+    assert!(threads_per_block > 0, "a block needs at least one thread");
+    assert!(
+        threads_per_block <= device.max_threads_per_block as usize,
+        "block of {threads_per_block} threads exceeds device limit {}",
+        device.max_threads_per_block
+    );
+    assert!(
+        smem_per_block <= device.shared_mem_per_block,
+        "block demands {smem_per_block} B shared memory, device allows {}",
+        device.shared_mem_per_block
+    );
+    let by_threads = device.max_threads_per_sm as usize / threads_per_block;
+    let by_slots = device.max_blocks_per_sm as usize;
+    let by_smem = device
+        .shared_mem_per_sm
+        .checked_div(smem_per_block)
+        .unwrap_or(usize::MAX);
+    let per_sm = by_threads.min(by_slots).min(by_smem).max(1);
+    per_sm * device.num_sms as usize
+}
+
+/// Number of scheduling waves needed to run `grid_blocks` blocks.
+#[must_use]
+pub fn waves(grid_blocks: usize, concurrent: usize) -> usize {
+    if grid_blocks == 0 {
+        0
+    } else {
+        grid_blocks.div_ceil(concurrent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_limited_occupancy() {
+        let d = DeviceSpec::tesla_p100(); // 56 SMs, 2048 threads/SM.
+        assert_eq!(concurrent_blocks(&d, 1024, 0), 2 * 56);
+        assert_eq!(concurrent_blocks(&d, 256, 0), 8 * 56);
+    }
+
+    #[test]
+    fn smem_limited_occupancy() {
+        let d = DeviceSpec::tesla_p100(); // 64 KiB/SM, 48 KiB/block max.
+        assert_eq!(concurrent_blocks(&d, 128, 40 * 1024), 56); // 1 block/SM.
+        assert_eq!(concurrent_blocks(&d, 128, 16 * 1024), 4 * 56);
+    }
+
+    #[test]
+    fn slot_limited_occupancy() {
+        let d = DeviceSpec::tesla_p100(); // 32 blocks/SM.
+        assert_eq!(concurrent_blocks(&d, 32, 0), 32 * 56);
+    }
+
+    #[test]
+    fn at_least_one_block_per_sm() {
+        let mut d = DeviceSpec::tesla_p100();
+        d.max_threads_per_sm = 100; // Degenerate: smaller than a block.
+        d.max_threads_per_block = 1024;
+        assert_eq!(concurrent_blocks(&d, 512, 0), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_panics() {
+        let d = DeviceSpec::tesla_p100();
+        let _ = concurrent_blocks(&d, 2048, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_smem_panics() {
+        let d = DeviceSpec::tesla_p100();
+        let _ = concurrent_blocks(&d, 128, 49 * 1024);
+    }
+
+    #[test]
+    fn wave_arithmetic() {
+        assert_eq!(waves(0, 10), 0);
+        assert_eq!(waves(1, 10), 1);
+        assert_eq!(waves(10, 10), 1);
+        assert_eq!(waves(11, 10), 2);
+    }
+}

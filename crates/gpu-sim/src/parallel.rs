@@ -1,0 +1,90 @@
+//! Host-side parallelism for simulation workloads.
+//!
+//! Simulating sampled blocks (and whole per-dataset experiments) is
+//! embarrassingly parallel; this module provides a dependency-light parallel
+//! map built on crossbeam's scoped threads with a shared atomic work index,
+//! so callers get order-preserving results without any unsafe code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item index in `0..n`, in parallel, returning results
+/// in index order.
+///
+/// Uses up to `available_parallelism` worker threads (capped at `n`). Falls
+/// back to sequential execution for tiny inputs where thread spawn overhead
+/// dominates.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    const SEQUENTIAL_CUTOFF: usize = 4;
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if n <= SEQUENTIAL_CUTOFF || workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *results[i].lock() = Some(value);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index is produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = parallel_map(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+        assert_eq!(parallel_map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heavy_closure_parallelizes_correctly() {
+        let out = parallel_map(64, |i| {
+            // Small busy work so threads actually interleave.
+            let mut acc = 0u64;
+            for k in 0..10_000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(k ^ i as u64);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Functional reductions (the numeric side of cub's primitives).
+//!
+//! Costs are modelled in [`crate::block::BlockSim::block_reduce`] and
+//! [`crate::kernel::KernelSim::global_reduce`]; this module computes the
+//! actual values with the same operation *order* as a tree reduction, so
+//! engine outputs can be compared against a CPU reference with a small,
+//! well-understood floating-point tolerance.
+
+/// Tree-shaped (pairwise) sum — the order cub::BlockReduce uses.
+#[must_use]
+pub fn block_reduce_sum(values: &[f32]) -> f32 {
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        n => {
+            let mid = n / 2;
+            block_reduce_sum(&values[..mid]) + block_reduce_sum(&values[mid..])
+        }
+    }
+}
+
+/// Segmented sum: reduces each segment independently
+/// (cub::DeviceSegmentedReduce).
+///
+/// # Panics
+///
+/// Panics if `values.len()` is not a multiple of `segment_len`, or
+/// `segment_len` is zero.
+#[must_use]
+pub fn segmented_sum(values: &[f32], segment_len: usize) -> Vec<f32> {
+    assert!(segment_len > 0, "segment length must be positive");
+    assert_eq!(
+        values.len() % segment_len,
+        0,
+        "values must divide into whole segments"
+    );
+    values
+        .chunks_exact(segment_len)
+        .map(block_reduce_sum)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_sequential_for_exact_values() {
+        let v: Vec<f32> = (1..=64).map(|i| i as f32).collect();
+        assert_eq!(block_reduce_sum(&v), 64.0 * 65.0 / 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(block_reduce_sum(&[]), 0.0);
+        assert_eq!(block_reduce_sum(&[3.5]), 3.5);
+    }
+
+    #[test]
+    fn segmented_reduces_each_segment() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(segmented_sum(&v, 3), vec![6.0, 15.0]);
+        assert_eq!(segmented_sum(&v, 2), vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole segments")]
+    fn ragged_segments_panic() {
+        let _ = segmented_sum(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn pairwise_is_close_to_sequential_for_floats() {
+        let v: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let seq: f32 = v.iter().sum();
+        let tree = block_reduce_sum(&v);
+        assert!((seq - tree).abs() < 1e-3, "seq {seq} vs tree {tree}");
+    }
+}

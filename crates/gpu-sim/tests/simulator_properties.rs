@@ -1,0 +1,179 @@
+//! Property-based tests of the simulator's cost-model invariants.
+
+use proptest::prelude::*;
+
+use tahoe_gpu_sim::coalesce::{adjacent_lane_distance, count_transactions};
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::kernel::{sample_plan, Detail, KernelSim};
+use tahoe_gpu_sim::metrics::coefficient_of_variation;
+use tahoe_gpu_sim::multigpu::partition;
+use tahoe_gpu_sim::reduction::{block_reduce_sum, segmented_sum};
+
+fn run_uniform_kernel(
+    device: &DeviceSpec,
+    grid: usize,
+    steps: usize,
+    stride: u64,
+) -> tahoe_gpu_sim::KernelResult {
+    let mut k = KernelSim::new(device, grid, 64, 0);
+    for _ in sample_plan(grid, Detail::Sampled(8)) {
+        let mut b = k.block();
+        let mut w = b.warp();
+        for s in 0..steps {
+            let base = 0x1000_0000 + (s as u64) * stride * 64;
+            let accesses: Vec<(u8, u64)> =
+                (0..32).map(|i| (i as u8, base + i * stride)).collect();
+            w.gmem_read(&accesses, 4, None);
+        }
+        b.push_warp(w.finish());
+        k.push_block(b.finish());
+    }
+    k.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kernel_time_is_monotone_in_grid_size(
+        grid_a in 1usize..200,
+        extra in 1usize..200,
+        steps in 1usize..20,
+    ) {
+        let d = DeviceSpec::tesla_p100();
+        let small = run_uniform_kernel(&d, grid_a, steps, 4);
+        let large = run_uniform_kernel(&d, grid_a + extra, steps, 4);
+        prop_assert!(large.total_ns >= small.total_ns * 0.999,
+            "more blocks cannot be faster: {} vs {}", large.total_ns, small.total_ns);
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_scatter(
+        grid in 1usize..100,
+        steps in 1usize..20,
+    ) {
+        // Scattered accesses can never beat coalesced ones.
+        let d = DeviceSpec::tesla_k80();
+        let coalesced = run_uniform_kernel(&d, grid, steps, 4);
+        let scattered = run_uniform_kernel(&d, grid, steps, 4096);
+        prop_assert!(scattered.total_ns >= coalesced.total_ns * 0.999);
+        prop_assert!(scattered.gmem.fetched_bytes >= coalesced.gmem.fetched_bytes);
+        prop_assert!(scattered.gmem.efficiency() <= coalesced.gmem.efficiency() + 1e-12);
+    }
+
+    #[test]
+    fn throughput_never_exceeds_peak_bandwidth(
+        grid in 1usize..400,
+        steps in 1usize..30,
+        stride in prop::sample::select(vec![4u64, 64, 256, 4096]),
+    ) {
+        for d in DeviceSpec::paper_devices() {
+            let r = run_uniform_kernel(&d, grid, steps, stride);
+            prop_assert!(
+                r.gmem_throughput() <= d.gmem_bytes_per_ns * 1.001,
+                "{}: {} > {}", d.name, r.gmem_throughput(), d.gmem_bytes_per_ns
+            );
+        }
+    }
+
+    #[test]
+    fn requested_never_exceeds_fetched(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..32),
+    ) {
+        let d = DeviceSpec::tesla_v100();
+        let mut k = KernelSim::new(&d, 1, 32, 0);
+        let mut b = k.block();
+        let mut w = b.warp();
+        let accesses: Vec<(u8, u64)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(lane, &a)| (lane as u8, a))
+            .collect();
+        w.gmem_read(&accesses, 4, None);
+        b.push_warp(w.finish());
+        k.push_block(b.finish());
+        let r = k.finish();
+        prop_assert!(r.gmem.requested_bytes <= r.gmem.fetched_bytes);
+        prop_assert!(r.gmem.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn transactions_shrink_when_addresses_merge(
+        base in 0u64..1_000_000,
+        n in 2usize..32,
+    ) {
+        // Collapsing all lanes onto one address can only reduce transactions.
+        let mut spread: Vec<u64> = (0..n as u64).map(|i| base + i * 4096).collect();
+        let mut merged = vec![base; n];
+        let t_spread = count_transactions(&mut spread, 4, 128);
+        let t_merged = count_transactions(&mut merged, 4, 128);
+        prop_assert!(t_merged <= t_spread);
+        // One shared address costs at most 2 transactions (when the 4-byte
+        // element straddles a line boundary), and exactly 1 when it doesn't.
+        let straddles = (base % 128) > 124;
+        prop_assert_eq!(t_merged, if straddles { 2 } else { 1 });
+    }
+
+    #[test]
+    fn adjacent_distance_is_translation_invariant(
+        addrs in proptest::collection::vec(0u64..100_000, 2..32),
+        shift in 0u64..100_000,
+    ) {
+        let shifted: Vec<u64> = addrs.iter().map(|a| a + shift).collect();
+        let a = adjacent_lane_distance(&addrs).unwrap();
+        let b = adjacent_lane_distance(&shifted).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_reduce_matches_f64_sum(
+        values in proptest::collection::vec(-100.0f32..100.0, 0..64),
+    ) {
+        let tree = f64::from(block_reduce_sum(&values));
+        let exact: f64 = values.iter().map(|&v| f64::from(v)).sum();
+        prop_assert!((tree - exact).abs() < 1e-2, "{tree} vs {exact}");
+    }
+
+    #[test]
+    fn segmented_sum_matches_whole_sum(
+        values in proptest::collection::vec(-10.0f32..10.0, 1..8)
+            .prop_flat_map(|seg| {
+                let len = seg.len();
+                (proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, len), 1..6), Just(len))
+            }),
+    ) {
+        let (segments, len) = values;
+        let flat: Vec<f32> = segments.concat();
+        let sums = segmented_sum(&flat, len);
+        prop_assert_eq!(sums.len(), segments.len());
+        for (sum, seg) in sums.iter().zip(&segments) {
+            let expected: f32 = seg.iter().sum();
+            prop_assert!((sum - expected).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_and_balanced(
+        n in 0usize..10_000,
+        devices in 1usize..64,
+    ) {
+        let parts = partition(n, devices);
+        prop_assert_eq!(parts.len(), devices);
+        let total: usize = parts.iter().map(ExactSizeIterator::len).sum();
+        prop_assert_eq!(total, n);
+        let max = parts.iter().map(ExactSizeIterator::len).max().unwrap();
+        let min = parts.iter().map(ExactSizeIterator::len).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn cv_is_scale_invariant(
+        values in proptest::collection::vec(0.1f64..1_000.0, 2..50),
+        scale in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let a = coefficient_of_variation(&values);
+        let b = coefficient_of_variation(&scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

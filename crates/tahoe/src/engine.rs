@@ -1,0 +1,557 @@
+//! The adaptive inference engine (paper Algorithm 1) and the FIL baseline.
+//!
+//! Construction runs the *offline* part (hardware microbenchmarks, line 4)
+//! and the *online* CPU part (node rearrangement, similarity detection,
+//! format conversion, lines 5–7). Each batch then runs the *GPU* part:
+//! performance-model evaluation (lines 8–13) and the selected strategy
+//! (line 15). [`Engine::update_forest`] is the incremental-learning path:
+//! a forest update re-triggers probability counting and format conversion.
+
+use std::time::Instant;
+
+use tahoe_datasets::SampleMatrix;
+use tahoe_forest::probability::EdgeCounter;
+use tahoe_forest::{Forest, ForestStats};
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::kernel::Detail;
+use tahoe_gpu_sim::memory::DeviceMemory;
+use tahoe_gpu_sim::{measure, MeasuredParams};
+
+use crate::format::{DeviceForest, FormatConfig, LayoutPlan};
+use crate::perfmodel::{ModelInputs, Prediction};
+use crate::rearrange::{self, RearrangeReport, SimilarityParams};
+use crate::strategy::common::THREADS_PER_BLOCK;
+use crate::strategy::{self, LaunchContext, Strategy, StrategyRun};
+use crate::tune;
+
+/// Which of Tahoe's techniques an engine applies (the knobs behind the
+/// paper's Fig. 8 breakdown).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineOptions {
+    /// Probability-based node rearrangement (§4.1).
+    pub node_rearrange: bool,
+    /// Similarity-based tree rearrangement (§4.2).
+    pub tree_rearrange: bool,
+    /// Performance-model-guided strategy selection (§6); when off, the
+    /// engine always uses FIL's shared-data strategy.
+    pub model_selection: bool,
+    /// Variable-length attribute index (§4.3).
+    pub varlen_attr: bool,
+    /// Simulation detail (sampled blocks per kernel).
+    pub detail: Detail,
+    /// Similarity-pipeline parameters.
+    pub similarity: SimilarityParams,
+    /// Compute functional predictions on [`Engine::infer`]. Throughput
+    /// sweeps over tiled mega-batches disable this: the simulated timing
+    /// comes from the trace simulator either way, and correctness is covered
+    /// by the (always-functional) validation tests.
+    pub functional: bool,
+    /// Count edge probabilities during inference (Algorithm 1 line 16).
+    /// Accumulated counts feed [`Engine::refresh_probabilities`], which
+    /// re-annotates the forest and rebuilds the layout. Off by default: it
+    /// costs an extra traversal pass per batch.
+    pub track_probabilities: bool,
+}
+
+impl EngineOptions {
+    /// Full Tahoe: everything on.
+    #[must_use]
+    pub fn tahoe() -> Self {
+        Self {
+            node_rearrange: true,
+            tree_rearrange: true,
+            model_selection: true,
+            varlen_attr: true,
+            detail: Detail::DEFAULT_SAMPLED,
+            similarity: SimilarityParams::default(),
+            functional: true,
+            track_probabilities: false,
+        }
+    }
+
+    /// FIL baseline: reorg format, fixed-width attributes, shared-data
+    /// strategy only.
+    #[must_use]
+    pub fn fil() -> Self {
+        Self {
+            node_rearrange: false,
+            tree_rearrange: false,
+            model_selection: false,
+            varlen_attr: false,
+            detail: Detail::DEFAULT_SAMPLED,
+            similarity: SimilarityParams::default(),
+            functional: true,
+            track_probabilities: false,
+        }
+    }
+}
+
+/// CPU-side conversion cost (paper §7.4's overhead analysis).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConversionReport {
+    /// Rearrangement stage timings.
+    pub rearrange: RearrangeReport,
+    /// Device-format build time.
+    pub convert_ns: u64,
+}
+
+impl ConversionReport {
+    /// Total CPU-part time.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.rearrange.total_ns() + self.convert_ns
+    }
+}
+
+/// Result of one inference batch.
+#[derive(Clone, Debug)]
+pub struct InferenceResult {
+    /// Final predictions (aggregated ensemble outputs).
+    pub predictions: Vec<f32>,
+    /// Strategy that ran.
+    pub strategy: Strategy,
+    /// Simulated kernel outcome.
+    pub run: StrategyRun,
+    /// Model predictions for every feasible strategy, cheapest first.
+    pub ranked: Vec<Prediction>,
+    /// Model inputs used for the ranking.
+    pub inputs: ModelInputs,
+    /// Host-side model-evaluation time (§7.4's "runtime overhead").
+    pub model_eval_ns: u64,
+}
+
+/// A configured inference engine bound to one device and one forest.
+pub struct Engine {
+    device: DeviceSpec,
+    hw: MeasuredParams,
+    options: EngineOptions,
+    forest: Forest,
+    stats: ForestStats,
+    device_forest: DeviceForest,
+    mem: DeviceMemory,
+    conversion: ConversionReport,
+    counter: Option<EdgeCounter>,
+}
+
+impl Engine {
+    /// Builds an engine: offline microbenchmarks + online format conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device spec fails validation.
+    #[must_use]
+    pub fn new(device: DeviceSpec, forest: Forest, options: EngineOptions) -> Self {
+        device.validate().expect("valid device spec");
+        let hw = measure(&device);
+        let mut engine = Self {
+            stats: forest.stats(),
+            device,
+            hw,
+            options,
+            forest,
+            device_forest: placeholder_device_forest(),
+            mem: DeviceMemory::new(),
+            conversion: ConversionReport::default(),
+            counter: None,
+        };
+        if engine.options.track_probabilities {
+            engine.counter = Some(EdgeCounter::new(&engine.forest));
+        }
+        engine.convert();
+        engine
+    }
+
+    /// Full Tahoe on `device`.
+    #[must_use]
+    pub fn tahoe(device: DeviceSpec, forest: Forest) -> Self {
+        Self::new(device, forest, EngineOptions::tahoe())
+    }
+
+    /// FIL-equivalent baseline on `device`.
+    #[must_use]
+    pub fn fil(device: DeviceSpec, forest: Forest) -> Self {
+        Self::new(device, forest, EngineOptions::fil())
+    }
+
+    /// (Re)builds the device forest from the current host forest.
+    fn convert(&mut self) {
+        let mut report = ConversionReport::default();
+        let plan = match (self.options.node_rearrange, self.options.tree_rearrange) {
+            (true, true) => {
+                let (plan, r) =
+                    rearrange::adaptive_plan_timed(&self.forest, &self.options.similarity);
+                report.rearrange = r;
+                plan
+            }
+            (true, false) => {
+                let t0 = Instant::now();
+                let swaps = rearrange::node_swap::forest_swaps(&self.forest);
+                report.rearrange.node_swap_ns = t0.elapsed().as_nanos() as u64;
+                LayoutPlan {
+                    tree_order: (0..self.forest.n_trees()).collect(),
+                    swaps,
+                }
+            }
+            (false, true) => {
+                let (order, r) =
+                    rearrange::similarity_order_timed(&self.forest, &self.options.similarity);
+                report.rearrange = r;
+                LayoutPlan {
+                    tree_order: order,
+                    swaps: LayoutPlan::identity(&self.forest).swaps,
+                }
+            }
+            (false, false) => LayoutPlan::identity(&self.forest),
+        };
+        let config = FormatConfig {
+            varlen_attr: self.options.varlen_attr,
+            mode: None,
+        };
+        let t0 = Instant::now();
+        self.device_forest = DeviceForest::build(&self.forest, &plan, config, &mut self.mem);
+        report.convert_ns = t0.elapsed().as_nanos() as u64;
+        self.stats = self.forest.stats();
+        self.conversion = report;
+    }
+
+    /// Runs inference on a batch, selecting the strategy via the performance
+    /// models (Algorithm 1 lines 8–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or an attribute-count mismatch.
+    pub fn infer(&mut self, samples: &SampleMatrix) -> InferenceResult {
+        self.infer_with(samples, None)
+    }
+
+    /// As [`Engine::infer`], optionally forcing a strategy (used by the
+    /// Fig. 5/6 strategy sweeps). Returns the fallback shared-data run when
+    /// a forced strategy is infeasible... no: forcing an infeasible strategy
+    /// panics, callers check feasibility via [`strategy::geometry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, attribute mismatch, or an infeasible forced
+    /// strategy.
+    pub fn infer_with(
+        &mut self,
+        samples: &SampleMatrix,
+        force: Option<Strategy>,
+    ) -> InferenceResult {
+        assert!(samples.n_samples() > 0, "cannot infer an empty batch");
+        assert_eq!(
+            samples.n_attributes() as u32,
+            self.forest.n_attributes(),
+            "attribute count mismatch"
+        );
+        let sample_buf = self
+            .mem
+            .alloc((samples.n_samples() * samples.n_attributes() * 4) as u64);
+        let ctx = LaunchContext {
+            device: &self.device,
+            forest: &self.device_forest,
+            samples,
+            sample_buf,
+            detail: self.options.detail,
+            block_threads: THREADS_PER_BLOCK,
+        };
+        let inputs = ModelInputs::gather(&self.device_forest, &self.stats, samples);
+        // Model evaluation: tune each feasible strategy's block size
+        // (Algorithm 1 line 14) and rank the tuned predictions (lines 8-13).
+        let t0 = Instant::now();
+        let tuned = tune::tune_all(&ctx, &inputs, &self.hw);
+        let model_eval_ns = t0.elapsed().as_nanos() as u64;
+        let ranked: Vec<Prediction> = tuned.iter().map(|&(_, _, p)| p).collect();
+        let strategy = force.unwrap_or_else(|| {
+            if self.options.model_selection {
+                tuned
+                    .first()
+                    .expect("shared data and direct are always feasible")
+                    .0
+            } else {
+                Strategy::SharedData
+            }
+        });
+        // Launch with the tuned block size (FIL's fixed default when the
+        // model is disabled, matching the baseline).
+        let block_threads = if self.options.model_selection {
+            tuned
+                .iter()
+                .find(|(s, _, _)| *s == strategy)
+                .map_or(THREADS_PER_BLOCK, |&(_, t, _)| t)
+        } else {
+            THREADS_PER_BLOCK
+        };
+        let run_ctx = LaunchContext {
+            block_threads,
+            ..ctx
+        };
+        let run = strategy::run(strategy, &run_ctx)
+            .unwrap_or_else(|| panic!("strategy {strategy} infeasible for this forest/device"));
+        let predictions = if self.options.functional {
+            self.device_forest.predict_batch(samples)
+        } else {
+            Vec::new()
+        };
+        // Algorithm 1 line 16: count edge probabilities during inference.
+        if let Some(counter) = self.counter.as_mut() {
+            counter.observe(&self.forest, samples);
+        }
+        InferenceResult {
+            predictions,
+            strategy,
+            run,
+            ranked,
+            inputs,
+            model_eval_ns,
+        }
+    }
+
+    /// Whether a strategy is feasible for this engine's forest/device on a
+    /// given batch (shared-memory capacity checks).
+    #[must_use]
+    pub fn feasible(&self, strategy: Strategy, samples: &SampleMatrix) -> bool {
+        let mut scratch = DeviceMemory::new();
+        let ctx = LaunchContext {
+            device: &self.device,
+            forest: &self.device_forest,
+            samples,
+            sample_buf: scratch
+                .alloc((samples.n_samples() * samples.n_attributes() * 4) as u64),
+            detail: Detail::Sampled(1),
+            block_threads: THREADS_PER_BLOCK,
+        };
+        strategy::geometry(strategy, &ctx).is_some()
+    }
+
+    /// Replaces the forest (incremental learning, §4.2/§6.2): re-measures
+    /// edge probabilities on `recount` when given, then reconverts the
+    /// format. Any probability-tracking counts are reset (the structure
+    /// changed).
+    pub fn update_forest(&mut self, forest: Forest, recount: Option<&SampleMatrix>) {
+        self.forest = match recount {
+            Some(samples) => tahoe_forest::probability::annotate_edge_probabilities(
+                &forest, samples,
+            ),
+            None => forest,
+        };
+        if self.options.track_probabilities {
+            self.counter = Some(EdgeCounter::new(&self.forest));
+        }
+        self.convert();
+    }
+
+    /// Samples observed by the inference-time probability counter (0 when
+    /// tracking is off).
+    #[must_use]
+    pub fn observed_samples(&self) -> u64 {
+        self.counter.as_ref().map_or(0, EdgeCounter::observations)
+    }
+
+    /// Re-annotates the forest from the probabilities observed during
+    /// inference and rebuilds the adaptive layout (the refresh step of the
+    /// paper's incremental-learning workflow). No-op without tracked
+    /// observations.
+    pub fn refresh_probabilities(&mut self) {
+        let Some(counter) = self.counter.as_ref() else {
+            return;
+        };
+        if counter.observations() == 0 {
+            return;
+        }
+        self.forest = counter.annotate(&self.forest);
+        self.convert();
+    }
+
+    /// The device this engine targets.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Measured hardware parameters (Algorithm 1 line 4).
+    #[must_use]
+    pub fn hardware_params(&self) -> &MeasuredParams {
+        &self.hw
+    }
+
+    /// The device-formatted forest.
+    #[must_use]
+    pub fn device_forest(&self) -> &DeviceForest {
+        &self.device_forest
+    }
+
+    /// The host forest currently loaded.
+    #[must_use]
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// CPU-side conversion report (§7.4).
+    #[must_use]
+    pub fn conversion(&self) -> &ConversionReport {
+        &self.conversion
+    }
+
+    /// Engine options.
+    #[must_use]
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+}
+
+/// A 1-tree placeholder replaced by `convert()` during construction.
+fn placeholder_device_forest() -> DeviceForest {
+    use tahoe_datasets::{ForestKind, Task};
+    use tahoe_forest::Tree;
+    let forest = Forest::new(
+        vec![Tree::leaf(0.0)],
+        1,
+        ForestKind::Gbdt,
+        Task::Regression,
+        0.0,
+    );
+    let plan = LayoutPlan::identity(&forest);
+    DeviceForest::build(&forest, &plan, FormatConfig::adaptive(), &mut DeviceMemory::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_datasets::{DatasetSpec, Scale};
+    use tahoe_forest::{predict_dataset, train_for_spec};
+
+    fn setup(name: &str) -> (Forest, SampleMatrix) {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        (forest, infer.samples)
+    }
+
+    #[test]
+    fn tahoe_predictions_match_cpu_reference() {
+        let (forest, samples) = setup("letter");
+        let reference = predict_dataset(&forest, &samples);
+        let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let result = engine.infer(&samples);
+        assert_eq!(result.predictions.len(), reference.len());
+        for (a, b) in result.predictions.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fil_and_tahoe_agree_on_predictions() {
+        let (forest, samples) = setup("ijcnn1");
+        let mut fil = Engine::fil(DeviceSpec::tesla_p100(), forest.clone());
+        let mut tahoe = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let a = fil.infer(&samples);
+        let b = tahoe.infer(&samples);
+        for (x, y) in a.predictions.iter().zip(&b.predictions) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert_eq!(a.strategy, Strategy::SharedData, "FIL always uses shared data");
+    }
+
+    #[test]
+    fn tahoe_is_no_slower_than_fil_and_moves_fewer_bytes() {
+        // At Smoke scale blocks can be latency-bound, where layout cannot
+        // change the step count — Tahoe then ties FIL on time but must still
+        // fetch fewer bytes (better coalescing + smaller nodes). The
+        // bandwidth-bound speedups are covered by the Ci-scale experiments.
+        let (forest, samples) = setup("higgs");
+        let mut fil = Engine::fil(DeviceSpec::tesla_p100(), forest.clone());
+        let mut tahoe = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let a = fil.infer(&samples);
+        let b = tahoe.infer(&samples);
+        assert!(
+            b.run.kernel.total_ns <= a.run.kernel.total_ns * 1.001,
+            "tahoe {} > fil {}",
+            b.run.kernel.total_ns,
+            a.run.kernel.total_ns
+        );
+        assert!(
+            b.run.kernel.gmem.fetched_bytes < a.run.kernel.gmem.fetched_bytes,
+            "tahoe fetched {} !< fil fetched {}",
+            b.run.kernel.gmem.fetched_bytes,
+            a.run.kernel.gmem.fetched_bytes
+        );
+    }
+
+    #[test]
+    fn forced_strategy_is_used() {
+        let (forest, samples) = setup("letter");
+        let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let r = engine.infer_with(&samples, Some(Strategy::Direct));
+        assert_eq!(r.strategy, Strategy::Direct);
+    }
+
+    #[test]
+    fn conversion_report_is_populated_for_tahoe_only() {
+        let (forest, _) = setup("ijcnn1");
+        let tahoe = Engine::tahoe(DeviceSpec::tesla_v100(), forest.clone());
+        assert!(tahoe.conversion().rearrange.simhash_ns > 0);
+        assert!(tahoe.conversion().convert_ns > 0);
+        let fil = Engine::fil(DeviceSpec::tesla_v100(), forest);
+        assert_eq!(fil.conversion().rearrange.simhash_ns, 0);
+    }
+
+    #[test]
+    fn update_forest_keeps_predictions_consistent() {
+        let (forest, samples) = setup("letter");
+        let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let before = engine.infer(&samples);
+        // Incremental learning: retrain on the inference split and update.
+        let (forest2, _) = setup("letter");
+        engine.update_forest(forest2, Some(&samples));
+        let after = engine.infer(&samples);
+        assert_eq!(before.predictions.len(), after.predictions.len());
+        // Probabilities changed, but predictions must still match reference.
+        let reference = predict_dataset(engine.forest(), &samples);
+        for (a, b) in after.predictions.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn probability_tracking_accumulates_and_refreshes() {
+        let (forest, samples) = setup("letter");
+        let options = EngineOptions {
+            track_probabilities: true,
+            ..EngineOptions::tahoe()
+        };
+        let mut engine = Engine::new(DeviceSpec::tesla_p100(), forest, options);
+        assert_eq!(engine.observed_samples(), 0);
+        let before = engine.infer(&samples);
+        assert_eq!(engine.observed_samples(), samples.n_samples() as u64);
+        let _ = engine.infer(&samples);
+        assert_eq!(engine.observed_samples(), 2 * samples.n_samples() as u64);
+        engine.refresh_probabilities();
+        // Predictions are invariant under the probability refresh.
+        let after = engine.infer(&samples);
+        for (a, b) in before.predictions.iter().zip(&after.predictions) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn refresh_without_tracking_is_a_noop() {
+        let (forest, samples) = setup("letter");
+        let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let _ = engine.infer(&samples);
+        assert_eq!(engine.observed_samples(), 0);
+        let image_before = engine.device_forest().image_bytes();
+        engine.refresh_probabilities();
+        assert_eq!(engine.device_forest().image_bytes(), image_before);
+    }
+
+    #[test]
+    fn model_eval_is_fast() {
+        let (forest, samples) = setup("letter");
+        let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let r = engine.infer(&samples);
+        // §7.4: model evaluation is microseconds, not milliseconds.
+        assert!(r.model_eval_ns < 5_000_000, "model eval {} ns", r.model_eval_ns);
+    }
+}

@@ -1,0 +1,512 @@
+//! Device forest formats: reorg (FIL baseline) and adaptive (Tahoe §4.3).
+//!
+//! A [`DeviceForest`] is a forest laid out for the simulated GPU: every node
+//! is assigned a memory slot (see [`layout`]), encoded into a byte image
+//! (see [`node`]), and allocated in simulated global memory. The same type
+//! serves both the FIL baseline (identity layout plan, fixed 4-byte attribute
+//! index) and Tahoe's adaptive format (similarity tree order, probability
+//! child swaps, variable-length attribute index) — a layout plan plus a
+//! format config fully determine the result.
+
+pub mod layout;
+pub mod node;
+
+use tahoe_datasets::{ForestKind, SampleMatrix};
+use tahoe_forest::Forest;
+use tahoe_gpu_sim::memory::DeviceMemory;
+use tahoe_gpu_sim::GlobalBuffer;
+
+pub use layout::{assign_slots, LayoutPlan, SlotMap, StorageMode};
+pub use node::{AttrWidth, DeviceNode, NO_SLOT};
+
+use tahoe_forest::Node as HostNode;
+
+/// Dense mode is only used while the NULL-padded slot count stays below this
+/// cap; beyond it the padding dominates and sparse mode wins (FIL makes the
+/// same dense/sparse decision for deep trees).
+pub const DENSE_SLOT_CAP: usize = 1 << 21;
+
+/// Format configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FormatConfig {
+    /// Use the minimal attribute-index width (§4.3) instead of 4 bytes.
+    pub varlen_attr: bool,
+    /// Force a storage mode; `None` selects automatically by padded size.
+    pub mode: Option<StorageMode>,
+}
+
+impl FormatConfig {
+    /// Tahoe's adaptive-format configuration.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        Self {
+            varlen_attr: true,
+            mode: None,
+        }
+    }
+
+    /// The traditional configuration (fixed four-byte attribute index).
+    #[must_use]
+    pub fn traditional() -> Self {
+        Self {
+            varlen_attr: false,
+            mode: None,
+        }
+    }
+}
+
+/// A forest laid out in simulated device memory.
+#[derive(Clone, Debug)]
+pub struct DeviceForest {
+    nodes: Vec<Option<DeviceNode>>,
+    levels: Vec<u32>,
+    roots: Vec<u32>,
+    nodes_per_tree: Vec<u32>,
+    node_bytes: usize,
+    attr_width: AttrWidth,
+    mode: StorageMode,
+    buffer: GlobalBuffer,
+    n_trees: usize,
+    n_attributes: u32,
+    kind: ForestKind,
+    base_score: f32,
+    tree_order: Vec<usize>,
+    max_depth: usize,
+}
+
+impl DeviceForest {
+    /// Builds a device forest from a host forest, a layout plan, and a format
+    /// configuration, allocating its image in `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match the forest.
+    #[must_use]
+    pub fn build(
+        forest: &Forest,
+        plan: &LayoutPlan,
+        config: FormatConfig,
+        mem: &mut DeviceMemory,
+    ) -> Self {
+        let stats = forest.stats();
+        let attr_width = if config.varlen_attr {
+            AttrWidth::minimal(forest.n_attributes().max(1))
+        } else {
+            AttrWidth::U32
+        };
+        let mode = config.mode.unwrap_or_else(|| {
+            let depth = stats.max_depth as u32;
+            let padded = (stats.n_trees as u128) << (depth + 1);
+            if depth < 21 && padded <= DENSE_SLOT_CAP as u128 {
+                StorageMode::Dense
+            } else {
+                StorageMode::Sparse
+            }
+        });
+        let map = assign_slots(forest, plan, mode);
+        let explicit = mode == StorageMode::Sparse;
+        let node_bytes = DeviceNode::encoded_bytes(attr_width, explicit);
+        let mut nodes: Vec<Option<DeviceNode>> = vec![None; map.n_slots];
+        let mut nodes_per_tree = Vec::with_capacity(forest.n_trees());
+        for (layout_idx, &orig) in plan.tree_order.iter().enumerate() {
+            let tree = &forest.trees()[orig];
+            let swaps = &plan.swaps[orig];
+            nodes_per_tree.push(tree.n_nodes() as u32);
+            for (id, host) in tree.nodes().iter().enumerate() {
+                let slot = map.slot_of[layout_idx][id] as usize;
+                let device = match *host {
+                    HostNode::Leaf { value } => DeviceNode::leaf(value),
+                    HostNode::Decision {
+                        attribute,
+                        threshold,
+                        default_left,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        let swapped = swaps[id];
+                        let (lslot, rslot) = if swapped {
+                            (
+                                map.slot_of[layout_idx][right as usize],
+                                map.slot_of[layout_idx][left as usize],
+                            )
+                        } else {
+                            (
+                                map.slot_of[layout_idx][left as usize],
+                                map.slot_of[layout_idx][right as usize],
+                            )
+                        };
+                        DeviceNode {
+                            attribute,
+                            scalar: threshold,
+                            left: lslot,
+                            right: rslot,
+                            leaf: false,
+                            default_left: default_left ^ swapped,
+                            inverted: swapped,
+                        }
+                    }
+                };
+                nodes[slot] = Some(device);
+            }
+        }
+        let roots: Vec<u32> = (0..forest.n_trees())
+            .map(|layout_idx| map.slot_of[layout_idx][0])
+            .collect();
+        let buffer = mem.alloc((map.n_slots * node_bytes) as u64);
+        Self {
+            nodes,
+            levels: map.levels,
+            roots,
+            nodes_per_tree,
+            node_bytes,
+            attr_width,
+            mode,
+            buffer,
+            n_trees: forest.n_trees(),
+            n_attributes: forest.n_attributes(),
+            kind: forest.kind(),
+            base_score: forest.base_score(),
+            tree_order: plan.tree_order.clone(),
+            max_depth: stats.max_depth,
+        }
+    }
+
+    /// Encodes the full device image (used for storage accounting and
+    /// round-trip validation; kernels traverse the decoded `nodes`).
+    #[must_use]
+    pub fn encode_image(&self) -> Vec<u8> {
+        let explicit = self.mode == StorageMode::Sparse;
+        let mut out = Vec::with_capacity(self.nodes.len() * self.node_bytes);
+        for slot in &self.nodes {
+            match slot {
+                Some(n) => n.encode(self.attr_width, explicit, &mut out),
+                None => DeviceNode::encode_null(self.attr_width, explicit, &mut out),
+            }
+        }
+        out
+    }
+
+    /// Decodes an image back into per-slot nodes (children resolved via heap
+    /// arithmetic in dense mode). Used by tests to prove the byte format is
+    /// faithful.
+    #[must_use]
+    pub fn decode_image(&self, image: &[u8]) -> Vec<Option<DeviceNode>> {
+        let explicit = self.mode == StorageMode::Sparse;
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut cursor = image;
+        for slot in 0..self.nodes.len() {
+            let mut decoded = DeviceNode::decode(self.attr_width, explicit, &mut cursor);
+            if let Some(n) = decoded.as_mut() {
+                if !explicit && !n.leaf {
+                    let (l, r) = self.dense_children(slot as u32);
+                    n.left = l;
+                    n.right = r;
+                }
+            }
+            out.push(decoded);
+        }
+        out
+    }
+
+    /// Dense-mode child slots via heap arithmetic.
+    fn dense_children(&self, slot: u32) -> (u32, u32) {
+        let n_trees = self.n_trees as u64;
+        let slot64 = u64::from(slot);
+        let level = self.levels[slot as usize];
+        let base = n_trees * ((1u64 << level) - 1);
+        let rel = slot64 - base;
+        let tree = rel % n_trees;
+        let pos = ((1u64 << level) - 1) + rel / n_trees;
+        let child = |p: u64| {
+            let cl = level + 1;
+            let cbase = n_trees * ((1u64 << cl) - 1);
+            u32::try_from(cbase + (p - ((1u64 << cl) - 1)) * n_trees + tree)
+                .expect("slot fits u32")
+        };
+        (child(2 * pos + 1), child(2 * pos + 2))
+    }
+
+    /// The node in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NULL slot — reaching one during traversal is a layout bug.
+    #[must_use]
+    pub fn node(&self, slot: u32) -> &DeviceNode {
+        self.nodes[slot as usize]
+            .as_ref()
+            .expect("traversal reached a NULL slot")
+    }
+
+    /// The node in `slot`, or `None` for a NULL (dense padding) slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn node_opt(&self, slot: usize) -> Option<&DeviceNode> {
+        self.nodes[slot].as_ref()
+    }
+
+    /// Simulated device address of a slot.
+    #[must_use]
+    pub fn node_addr(&self, slot: u32) -> u64 {
+        self.buffer.elem_addr(u64::from(slot), self.node_bytes as u64)
+    }
+
+    /// Tree level of a slot.
+    #[must_use]
+    pub fn level_of(&self, slot: u32) -> u32 {
+        self.levels[slot as usize]
+    }
+
+    /// Root slot of each tree, in layout order.
+    #[must_use]
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Number of trees.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Number of attributes the forest tests.
+    #[must_use]
+    pub fn n_attributes(&self) -> u32 {
+        self.n_attributes
+    }
+
+    /// Encoded node size in bytes (the models' `S_node`).
+    #[must_use]
+    pub fn node_bytes(&self) -> usize {
+        self.node_bytes
+    }
+
+    /// Attribute-index width in use.
+    #[must_use]
+    pub fn attr_width(&self) -> AttrWidth {
+        self.attr_width
+    }
+
+    /// Storage mode in use.
+    #[must_use]
+    pub fn mode(&self) -> StorageMode {
+        self.mode
+    }
+
+    /// Total image size in bytes (including dense NULL padding).
+    #[must_use]
+    pub fn image_bytes(&self) -> usize {
+        self.nodes.len() * self.node_bytes
+    }
+
+    /// Shared-memory footprint of trees `[from, to)` in layout order (NULL
+    /// padding is never copied to shared memory).
+    #[must_use]
+    pub fn trees_smem_bytes(&self, from: usize, to: usize) -> usize {
+        self.nodes_per_tree[from..to]
+            .iter()
+            .map(|&n| n as usize * self.node_bytes)
+            .sum()
+    }
+
+    /// Shared-memory footprint of the whole forest.
+    #[must_use]
+    pub fn forest_smem_bytes(&self) -> usize {
+        self.trees_smem_bytes(0, self.n_trees)
+    }
+
+    /// Maximum tree depth.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Layout order: `tree_order[layout_idx] = original index`.
+    #[must_use]
+    pub fn tree_order(&self) -> &[usize] {
+        &self.tree_order
+    }
+
+    /// Traverses one tree for one sample; returns the leaf value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample has fewer attributes than the forest tests.
+    #[must_use]
+    pub fn tree_leaf(&self, layout_tree: usize, sample: &[f32]) -> f32 {
+        let mut slot = self.roots[layout_tree];
+        loop {
+            let n = self.node(slot);
+            if n.leaf {
+                return n.scalar;
+            }
+            slot = n
+                .next_slot(sample[n.attribute as usize])
+                .expect("non-leaf nodes always route");
+        }
+    }
+
+    /// Combines a raw sum of tree outputs into the forest prediction.
+    #[must_use]
+    pub fn aggregate(&self, tree_output_sum: f32) -> f32 {
+        match self.kind {
+            ForestKind::Gbdt => self.base_score + tree_output_sum,
+            ForestKind::RandomForest => tree_output_sum / self.n_trees as f32,
+        }
+    }
+
+    /// Predicts every sample (sum over trees in layout order, aggregated).
+    #[must_use]
+    pub fn predict_batch(&self, samples: &SampleMatrix) -> Vec<f32> {
+        (0..samples.n_samples())
+            .map(|i| {
+                let row = samples.row(i);
+                let sum: f32 = (0..self.n_trees).map(|t| self.tree_leaf(t, row)).sum();
+                self.aggregate(sum)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_datasets::{DatasetSpec, Scale};
+    use tahoe_forest::{predict_dataset, train_for_spec};
+
+    fn build_pair(name: &str) -> (Forest, DeviceForest, tahoe_datasets::Dataset) {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let mut mem = DeviceMemory::new();
+        let plan = LayoutPlan::identity(&forest);
+        let df = DeviceForest::build(&forest, &plan, FormatConfig::adaptive(), &mut mem);
+        (forest, df, infer)
+    }
+
+    #[test]
+    fn device_predictions_match_reference_dense() {
+        let (forest, df, infer) = build_pair("letter");
+        assert_eq!(df.mode(), StorageMode::Dense);
+        let reference = predict_dataset(&forest, &infer.samples);
+        let device = df.predict_batch(&infer.samples);
+        for (a, b) in reference.iter().zip(&device) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn device_predictions_match_reference_sparse() {
+        // Force sparse mode explicitly (at Smoke scale the realized depths
+        // can be shallow enough for the auto heuristic to pick dense).
+        let spec = DatasetSpec::by_name("gisette").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let mut mem = DeviceMemory::new();
+        let plan = LayoutPlan::identity(&forest);
+        let config = FormatConfig {
+            varlen_attr: true,
+            mode: Some(StorageMode::Sparse),
+        };
+        let df = DeviceForest::build(&forest, &plan, config, &mut mem);
+        assert_eq!(df.mode(), StorageMode::Sparse);
+        let reference = predict_dataset(&forest, &infer.samples);
+        let device = df.predict_batch(&infer.samples);
+        for (a, b) in reference.iter().zip(&device) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn swapped_children_preserve_predictions() {
+        let (forest, _, infer) = build_pair("letter");
+        let mut mem = DeviceMemory::new();
+        // Swap every decision node — predictions must be invariant.
+        let mut plan = LayoutPlan::identity(&forest);
+        for (t, tree) in forest.trees().iter().enumerate() {
+            for (i, n) in tree.nodes().iter().enumerate() {
+                plan.swaps[t][i] = !n.is_leaf();
+            }
+        }
+        let df = DeviceForest::build(&forest, &plan, FormatConfig::adaptive(), &mut mem);
+        let reference = predict_dataset(&forest, &infer.samples);
+        let device = df.predict_batch(&infer.samples);
+        for (a, b) in reference.iter().zip(&device) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tree_order_preserves_predictions() {
+        let (forest, _, infer) = build_pair("letter");
+        let mut mem = DeviceMemory::new();
+        let mut plan = LayoutPlan::identity(&forest);
+        plan.tree_order.reverse();
+        let df = DeviceForest::build(&forest, &plan, FormatConfig::adaptive(), &mut mem);
+        let reference = predict_dataset(&forest, &infer.samples);
+        let device = df.predict_batch(&infer.samples);
+        for (a, b) in reference.iter().zip(&device) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn image_roundtrip_is_faithful() {
+        for name in ["letter", "gisette"] {
+            let (_, df, _) = build_pair(name);
+            let image = df.encode_image();
+            assert_eq!(image.len(), df.image_bytes());
+            let decoded = df.decode_image(&image);
+            assert_eq!(decoded.len(), df.nodes.len());
+            for (slot, (a, b)) in df.nodes.iter().zip(&decoded).enumerate() {
+                assert_eq!(a, b, "{name}: slot {slot} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn varlen_attr_shrinks_storage() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = train_for_spec(&spec, &data, Scale::Smoke);
+        let plan = LayoutPlan::identity(&forest);
+        let mut mem = DeviceMemory::new();
+        let adaptive =
+            DeviceForest::build(&forest, &plan, FormatConfig::adaptive(), &mut mem);
+        let traditional =
+            DeviceForest::build(&forest, &plan, FormatConfig::traditional(), &mut mem);
+        assert!(adaptive.image_bytes() < traditional.image_bytes());
+        // 16 attributes → one-byte index.
+        assert_eq!(adaptive.attr_width(), AttrWidth::U8);
+        let saving = 1.0 - adaptive.image_bytes() as f64 / traditional.image_bytes() as f64;
+        assert!(saving > 0.15, "saving {saving} too small");
+    }
+
+    #[test]
+    fn smem_footprint_excludes_padding() {
+        let (forest, df, _) = build_pair("letter");
+        let real_nodes: usize = forest.trees().iter().map(tahoe_forest::Tree::n_nodes).sum();
+        assert_eq!(df.forest_smem_bytes(), real_nodes * df.node_bytes());
+        assert!(df.forest_smem_bytes() <= df.image_bytes());
+        // Partial ranges sum correctly.
+        let split = df.n_trees() / 2;
+        assert_eq!(
+            df.trees_smem_bytes(0, split) + df.trees_smem_bytes(split, df.n_trees()),
+            df.forest_smem_bytes()
+        );
+    }
+
+    #[test]
+    fn node_addresses_are_contiguous_slots() {
+        let (_, df, _) = build_pair("letter");
+        let a0 = df.node_addr(0);
+        let a1 = df.node_addr(1);
+        assert_eq!(a1 - a0, df.node_bytes() as u64);
+    }
+}

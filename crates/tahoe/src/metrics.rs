@@ -1,0 +1,102 @@
+//! Evaluation metrics shared by the experiments (§3, §7.2, §7.3).
+
+use tahoe_gpu_sim::kernel::KernelResult;
+use tahoe_gpu_sim::metrics::coefficient_of_variation;
+
+/// Average coefficient of variation of per-thread busy time across the
+/// sampled blocks (Table 3's "A.C.V.").
+///
+/// Threads that did no work (e.g. when there are fewer trees than threads)
+/// are excluded: they are predictably idle rather than imbalanced, and the
+/// paper's per-thread measurements (Fig. 2c) cover working threads.
+#[must_use]
+pub fn thread_acv(kernel: &KernelResult) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for block in &kernel.thread_busy_per_block {
+        let busy: Vec<f64> = block.iter().copied().filter(|&b| b > 0.0).collect();
+        if busy.len() < 2 {
+            continue;
+        }
+        sum += coefficient_of_variation(&busy);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Speedup of `fast` over `slow` given their simulated times.
+#[must_use]
+pub fn speedup(slow_ns: f64, fast_ns: f64) -> f64 {
+    if fast_ns == 0.0 {
+        0.0
+    } else {
+        slow_ns / fast_ns
+    }
+}
+
+/// One row of the Fig. 2a-style per-level report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelRow {
+    /// Tree level (0 = root).
+    pub level: u32,
+    /// Mean adjacent-lane address distance at that level (bytes).
+    pub mean_distance: f64,
+    /// Global-load efficiency (requested / fetched) at that level.
+    pub efficiency: f64,
+}
+
+/// Extracts the per-level coalescing profile from a kernel run.
+#[must_use]
+pub fn level_profile(kernel: &KernelResult) -> Vec<LevelRow> {
+    kernel
+        .levels
+        .iter()
+        .map(|(&level, stats)| LevelRow {
+            level,
+            mean_distance: stats.mean_distance(),
+            efficiency: stats.access.efficiency(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::testutil::{context, Fixture};
+    use crate::strategy::{run, Strategy};
+    use tahoe_gpu_sim::kernel::Detail;
+
+    #[test]
+    fn acv_is_positive_for_imbalanced_forests() {
+        let fx = Fixture::trained("higgs");
+        let r = run(Strategy::SharedData, &context(&fx, Detail::Sampled(2))).unwrap();
+        let acv = thread_acv(&r.kernel);
+        assert!(acv > 0.0, "depth-jittered forests must show imbalance");
+        assert!(acv < 3.0, "CV {acv} looks corrupted");
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup(10.0, 5.0) - 2.0).abs() < 1e-12);
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn level_profile_is_sorted_and_rooted() {
+        let fx = Fixture::trained("letter");
+        let r = run(Strategy::SharedData, &context(&fx, Detail::Sampled(2))).unwrap();
+        let profile = level_profile(&r.kernel);
+        assert!(!profile.is_empty());
+        assert_eq!(profile[0].level, 0);
+        for w in profile.windows(2) {
+            assert!(w[0].level < w[1].level);
+        }
+        for row in &profile {
+            assert!(row.efficiency > 0.0 && row.efficiency <= 1.0);
+        }
+    }
+}

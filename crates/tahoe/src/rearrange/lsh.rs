@@ -1,0 +1,134 @@
+//! Locality-sensitive hashing over normalized checksums (paper §4.2,
+//! "Applying LSH").
+//!
+//! Each normalized checksum is divided into `M` chunks; each chunk is hashed
+//! with a Rabin–Karp polynomial hash into a bucket. Two trees whose chunks
+//! collide are counted as similar once per colliding chunk; the collision
+//! counts drive the tree ordering.
+
+use std::collections::HashMap;
+
+/// Rabin–Karp polynomial hash of a bit chunk.
+///
+/// Uses a 64-bit rolling polynomial with a large odd base — collisions
+/// between *different* chunks are negligible at these chunk lengths, so a
+/// bucket collision means chunk equality, exactly what the similarity count
+/// wants.
+#[must_use]
+pub fn rabin_karp(bits: &[bool]) -> u64 {
+    const BASE: u64 = 1_000_003;
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bits {
+        h = h.wrapping_mul(BASE).wrapping_add(u64::from(b) + 1);
+    }
+    h
+}
+
+/// Pairwise collision counts `(i, j) → count`, with `i < j`.
+pub type CollisionCounts = HashMap<(u32, u32), u32>;
+
+/// Counts chunk collisions between all trees.
+///
+/// # Panics
+///
+/// Panics if checksums have differing lengths or `m_chunks` is zero.
+#[must_use]
+pub fn count_collisions(normalized: &[Vec<bool>], m_chunks: usize) -> CollisionCounts {
+    assert!(m_chunks > 0, "need at least one chunk");
+    let mut counts: CollisionCounts = HashMap::new();
+    if normalized.is_empty() {
+        return counts;
+    }
+    let l = normalized[0].len();
+    for c in normalized {
+        assert_eq!(c.len(), l, "checksum lengths differ");
+    }
+    let chunk_len = (l / m_chunks).max(1);
+    let n_chunks = l / chunk_len;
+    for chunk_idx in 0..n_chunks {
+        let start = chunk_idx * chunk_len;
+        let end = start + chunk_len;
+        // Bucket trees by chunk hash.
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (tree, checksum) in normalized.iter().enumerate() {
+            let h = rabin_karp(&checksum[start..end]);
+            buckets.entry(h).or_default().push(tree as u32);
+        }
+        for members in buckets.values() {
+            for (a_idx, &a) in members.iter().enumerate() {
+                for &b in &members[a_idx + 1..] {
+                    *counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Collision count for an unordered pair.
+#[must_use]
+pub fn pair_count(counts: &CollisionCounts, a: u32, b: u32) -> u32 {
+    let key = if a < b { (a, b) } else { (b, a) };
+    counts.get(&key).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rabin_karp_distinguishes_order_and_length() {
+        assert_ne!(rabin_karp(&[true, false]), rabin_karp(&[false, true]));
+        assert_ne!(rabin_karp(&[true]), rabin_karp(&[true, true]));
+        assert_eq!(rabin_karp(&[true, false]), rabin_karp(&[true, false]));
+    }
+
+    #[test]
+    fn identical_checksums_collide_in_every_chunk() {
+        let c = vec![vec![true; 16], vec![true; 16]];
+        let counts = count_collisions(&c, 4);
+        assert_eq!(pair_count(&counts, 0, 1), 4);
+    }
+
+    #[test]
+    fn disjoint_checksums_do_not_collide() {
+        let c = vec![vec![true; 16], vec![false; 16]];
+        let counts = count_collisions(&c, 4);
+        assert_eq!(pair_count(&counts, 0, 1), 0);
+    }
+
+    #[test]
+    fn partial_similarity_counts_matching_chunks() {
+        // First half equal, second half different → 2 of 4 chunks collide.
+        let mut a = vec![true; 16];
+        let b = a.clone();
+        a[8..].iter_mut().for_each(|v| *v = false);
+        let counts = count_collisions(&[a, b], 4);
+        assert_eq!(pair_count(&counts, 0, 1), 2);
+    }
+
+    #[test]
+    fn more_similar_pairs_count_higher() {
+        let base = vec![true; 32];
+        let mut near = base.clone();
+        near[0] = false; // One chunk disturbed.
+        let mut far = base.clone();
+        for (i, v) in far.iter_mut().enumerate() {
+            *v = i % 2 == 0;
+        }
+        let counts = count_collisions(&[base, near, far], 8);
+        assert!(pair_count(&counts, 0, 1) > pair_count(&counts, 0, 2));
+    }
+
+    #[test]
+    fn pair_count_is_symmetric() {
+        let c = vec![vec![true; 8], vec![true; 8]];
+        let counts = count_collisions(&c, 2);
+        assert_eq!(pair_count(&counts, 0, 1), pair_count(&counts, 1, 0));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(count_collisions(&[], 4).is_empty());
+    }
+}

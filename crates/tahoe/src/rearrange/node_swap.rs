@@ -1,0 +1,112 @@
+//! Probability-based node rearrangement (paper §4.1).
+//!
+//! For every decision node, the child with the higher visit probability is
+//! placed as the *layout-left* child, so that threads traversing different
+//! trees along their likely paths touch nodes at the same relative positions
+//! — which the interleaved layout then makes contiguous. The descendants
+//! follow their parent automatically because heap positions are recomputed
+//! from the swap assignment ([`crate::format::layout::heap_positions`]).
+
+use tahoe_forest::{Forest, Node, Tree};
+
+/// Swap flags for one tree: `true` where the children must be exchanged.
+#[must_use]
+pub fn tree_swaps(tree: &Tree) -> Vec<bool> {
+    tree.nodes()
+        .iter()
+        .map(|n| match n {
+            Node::Decision { left_prob, .. } => *left_prob < 0.5,
+            Node::Leaf { .. } => false,
+        })
+        .collect()
+}
+
+/// Swap flags for every tree of a forest.
+#[must_use]
+pub fn forest_swaps(forest: &Forest) -> Vec<Vec<bool>> {
+    forest.trees().iter().map(tree_swaps).collect()
+}
+
+/// Fraction of decision nodes whose layout-left child is the likelier one
+/// (1.0 after rearrangement; ~0.5 for unarranged forests). Diagnostic used
+/// by reports and tests.
+#[must_use]
+pub fn likely_left_fraction(forest: &Forest, swaps: &[Vec<bool>]) -> f64 {
+    let mut likely = 0usize;
+    let mut total = 0usize;
+    for (tree, tree_swaps) in forest.trees().iter().zip(swaps) {
+        for (node, &swapped) in tree.nodes().iter().zip(tree_swaps) {
+            if let Node::Decision { left_prob, .. } = node {
+                total += 1;
+                let layout_left_prob = if swapped { 1.0 - left_prob } else { *left_prob };
+                if layout_left_prob >= 0.5 {
+                    likely += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        likely as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_datasets::{ForestKind, Task};
+
+    fn tree_with_probs(p_root: f32, p_inner: f32) -> Tree {
+        Tree::new(vec![
+            Node::Decision {
+                attribute: 0,
+                threshold: 0.0,
+                default_left: true,
+                left: 1,
+                right: 2,
+                left_prob: p_root,
+            },
+            Node::Decision {
+                attribute: 1,
+                threshold: 0.0,
+                default_left: true,
+                left: 3,
+                right: 4,
+                left_prob: p_inner,
+            },
+            Node::Leaf { value: 0.0 },
+            Node::Leaf { value: 1.0 },
+            Node::Leaf { value: 2.0 },
+        ])
+    }
+
+    #[test]
+    fn swaps_only_unlikely_left_children() {
+        let swaps = tree_swaps(&tree_with_probs(0.3, 0.8));
+        assert_eq!(swaps, vec![true, false, false, false, false]);
+    }
+
+    #[test]
+    fn boundary_probability_does_not_swap() {
+        let swaps = tree_swaps(&tree_with_probs(0.5, 0.5));
+        assert!(!swaps[0] && !swaps[1]);
+    }
+
+    #[test]
+    fn likely_left_fraction_reaches_one_after_swaps() {
+        let forest = Forest::new(
+            vec![tree_with_probs(0.3, 0.8), tree_with_probs(0.1, 0.2)],
+            2,
+            ForestKind::Gbdt,
+            Task::Regression,
+            0.0,
+        );
+        let none = vec![vec![false; 5], vec![false; 5]];
+        let before = likely_left_fraction(&forest, &none);
+        assert!(before < 1.0);
+        let swaps = forest_swaps(&forest);
+        let after = likely_left_fraction(&forest, &swaps);
+        assert!((after - 1.0).abs() < 1e-12);
+    }
+}

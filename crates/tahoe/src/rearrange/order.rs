@@ -1,0 +1,140 @@
+//! Similarity-driven tree ordering (paper §4.2, "Map trees into groups and
+//! sort").
+//!
+//! The paper places tree `A` next to tree `B` when their collision count is
+//! the largest among `A`'s counts (Fig. 3: order `T2 T3 T1` because `T2&T3`
+//! collide most, then `T1&T3`). We implement that as a greedy chain: start
+//! from the globally most-similar pair, then repeatedly append the unplaced
+//! tree most similar to the chain's tail; when the tail has no similar
+//! unplaced tree, restart from the most similar remaining pair (or any
+//! remaining tree). Ties break toward lower indices for determinism.
+
+use super::lsh::{pair_count, CollisionCounts};
+
+/// Produces a tree order (layout position → original index) from collision
+/// counts.
+#[must_use]
+pub fn order_by_similarity(n_trees: usize, counts: &CollisionCounts) -> Vec<usize> {
+    if n_trees == 0 {
+        return Vec::new();
+    }
+    let mut placed = vec![false; n_trees];
+    let mut order = Vec::with_capacity(n_trees);
+    // Sorted pair list: highest count first, then lexicographic.
+    let mut pairs: Vec<(u32, (u32, u32))> = counts
+        .iter()
+        .filter(|&(&(a, b), _)| (a as usize) < n_trees && (b as usize) < n_trees)
+        .map(|(&p, &c)| (c, p))
+        .collect();
+    pairs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut pair_cursor = 0usize;
+    while order.len() < n_trees {
+        // Start (or restart) the chain from the best unplaced pair.
+        let mut tail: Option<usize> = None;
+        while pair_cursor < pairs.len() {
+            let (_, (a, b)) = pairs[pair_cursor];
+            if !placed[a as usize] && !placed[b as usize] {
+                placed[a as usize] = true;
+                placed[b as usize] = true;
+                order.push(a as usize);
+                order.push(b as usize);
+                tail = Some(b as usize);
+                break;
+            }
+            pair_cursor += 1;
+        }
+        let Some(mut tail) = tail else {
+            // No collision pairs left; append remaining trees in index order.
+            for (t, p) in placed.iter_mut().enumerate() {
+                if !*p {
+                    *p = true;
+                    order.push(t);
+                }
+            }
+            break;
+        };
+        // Extend the chain while the tail has similar unplaced trees.
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            #[allow(clippy::needless_range_loop)] // `t` is also the tree id.
+            for t in 0..n_trees {
+                if placed[t] {
+                    continue;
+                }
+                let c = pair_count(counts, tail as u32, t as u32);
+                if c > 0 && best.is_none_or(|(bc, bt)| c > bc || (c == bc && t < bt)) {
+                    best = Some((c, t));
+                }
+            }
+            match best {
+                Some((_, t)) => {
+                    placed[t] = true;
+                    order.push(t);
+                    tail = t;
+                }
+                None => break,
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn counts(pairs: &[((u32, u32), u32)]) -> CollisionCounts {
+        pairs.iter().copied().collect::<HashMap<_, _>>()
+    }
+
+    #[test]
+    fn fig3_example_order() {
+        // Paper Fig. 3: collisions T1&T2 = 0, T2&T3 = 2, T1&T3 = 1
+        // → order T2, T3, T1 (indices 1, 2, 0).
+        let c = counts(&[((0, 1), 0), ((1, 2), 2), ((0, 2), 1)]);
+        assert_eq!(order_by_similarity(3, &c), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let c = counts(&[((0, 3), 5), ((1, 2), 4), ((4, 5), 1)]);
+        let order = order_by_similarity(7, &c);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_follows_similarity() {
+        // 0-1 strongest, then 1-2, then 2-3.
+        let c = counts(&[((0, 1), 9), ((1, 2), 5), ((2, 3), 3)]);
+        assert_eq!(order_by_similarity(4, &c), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn no_collisions_preserves_index_order() {
+        let c = CollisionCounts::new();
+        assert_eq!(order_by_similarity(4, &c), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disjoint_groups_form_separate_chains() {
+        let c = counts(&[((2, 3), 9), ((0, 1), 8)]);
+        let order = order_by_similarity(4, &c);
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(order_by_similarity(0, &CollisionCounts::new()).is_empty());
+    }
+
+    #[test]
+    fn determinism() {
+        let c = counts(&[((0, 1), 2), ((2, 3), 2), ((1, 2), 2)]);
+        let a = order_by_similarity(4, &c);
+        let b = order_by_similarity(4, &c);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! SHA-1 (FIPS 180-1), implemented from the specification.
+//!
+//! The paper's SimHash step hashes each token with SHA1 (§4.2, citing its
+//! reference \[16\]).
+//! SHA-1 is cryptographically broken but remains a perfectly good mixing
+//! function for similarity hashing; we implement it from scratch rather than
+//! pulling a crypto dependency.
+
+/// SHA-1 digest of `data` (20 bytes).
+#[must_use]
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    // Message padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64) * 8;
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+    let mut w = [0u32; 80];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                chunk[4 * i],
+                chunk[4 * i + 1],
+                chunk[4 * i + 2],
+                chunk[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Expands `data` into `n_bits` hash bits using SHA-1 in counter mode.
+///
+/// Block `i` contributes `sha1(data || i_le)`; blocks are concatenated and
+/// truncated to `n_bits`. The paper's `L_hash` is 128, which one block
+/// covers; counter mode keeps the function total for any length.
+#[must_use]
+pub fn hash_bits(data: &[u8], n_bits: usize) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(n_bits);
+    let mut counter = 0u32;
+    let mut buf = Vec::with_capacity(data.len() + 4);
+    while bits.len() < n_bits {
+        buf.clear();
+        buf.extend_from_slice(data);
+        buf.extend_from_slice(&counter.to_le_bytes());
+        let digest = sha1(&buf);
+        for byte in digest {
+            for bit in 0..8 {
+                if bits.len() == n_bits {
+                    break;
+                }
+                bits.push((byte >> (7 - bit)) & 1 == 1);
+            }
+        }
+        counter += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8; 20]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_test_vector_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_test_vector_empty() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_test_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn long_input_crosses_block_boundary() {
+        // 64-byte input forces the padding into a second block.
+        let input = vec![b'a'; 64];
+        assert_eq!(hex(&sha1(&input)), "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+    }
+
+    #[test]
+    fn hash_bits_is_deterministic_and_sized() {
+        let a = hash_bits(b"token", 128);
+        let b = hash_bits(b"token", 128);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        assert_ne!(a, hash_bits(b"token2", 128));
+    }
+
+    #[test]
+    fn hash_bits_extends_beyond_one_digest() {
+        let bits = hash_bits(b"x", 400);
+        assert_eq!(bits.len(), 400);
+        // The first 160 bits must differ from the next 160 (different
+        // counter blocks).
+        assert_ne!(bits[..160], bits[160..320]);
+    }
+
+    #[test]
+    fn hash_bits_are_balanced() {
+        let bits = hash_bits(b"balance-check", 1600);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((600..=1000).contains(&ones), "ones {ones} far from half");
+    }
+}

@@ -1,0 +1,122 @@
+//! Weighted SimHash checksums (paper §4.2, "Applying SimHash").
+//!
+//! Each token is hashed to `L_hash` bits; each bit contributes `+weight` or
+//! `-weight` to the corresponding checksum component, where the weight is the
+//! node probability of the token's last node ("Adding this weight is
+//! necessary to increase the effectiveness of LSH", §4.2). The checksum is
+//! then normalized to a bit vector for the LSH stage.
+
+use super::sha1::hash_bits;
+use super::tokenize::Token;
+
+/// Accumulates the weighted SimHash checksum of a token set.
+#[must_use]
+pub fn simhash(tokens: &[Token], l_hash: usize) -> Vec<f32> {
+    let mut checksum = vec![0.0f32; l_hash];
+    for token in tokens {
+        let bits = hash_bits(&token.bytes, l_hash);
+        for (acc, bit) in checksum.iter_mut().zip(bits) {
+            if bit {
+                *acc += token.weight;
+            } else {
+                *acc -= token.weight;
+            }
+        }
+    }
+    checksum
+}
+
+/// Normalizes a checksum to bits: `>= 0 → 1`, `< 0 → 0` (paper §4.2,
+/// "Applying LSH", representation normalization).
+#[must_use]
+pub fn normalize(checksum: &[f32]) -> Vec<bool> {
+    checksum.iter().map(|&v| v >= 0.0).collect()
+}
+
+/// Hamming similarity between two normalized checksums (diagnostic).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn hamming_similarity(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "checksum lengths differ");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(bytes: &[u8], weight: f32) -> Token {
+        Token {
+            bytes: bytes.to_vec(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn empty_token_set_gives_zero_checksum() {
+        let c = simhash(&[], 16);
+        assert_eq!(c, vec![0.0; 16]);
+        // Zero normalizes to all-ones (>= 0).
+        assert_eq!(normalize(&c), vec![true; 16]);
+    }
+
+    #[test]
+    fn identical_token_sets_give_identical_checksums() {
+        let t = vec![token(b"a", 0.5), token(b"b", 0.25)];
+        assert_eq!(simhash(&t, 64), simhash(&t, 64));
+    }
+
+    #[test]
+    fn single_token_checksum_has_weight_magnitude() {
+        let c = simhash(&[token(b"x", 0.75)], 32);
+        assert!(c.iter().all(|v| (v.abs() - 0.75).abs() < 1e-6));
+    }
+
+    #[test]
+    fn similar_sets_are_closer_than_dissimilar() {
+        // Sets sharing most tokens must have more similar checksums than
+        // disjoint sets — the core SimHash property.
+        let base: Vec<Token> = (0..40).map(|i| token(format!("t{i}").as_bytes(), 1.0)).collect();
+        let mut near = base.clone();
+        near[0] = token(b"mutated", 1.0);
+        let far: Vec<Token> =
+            (0..40).map(|i| token(format!("u{i}").as_bytes(), 1.0)).collect();
+        let l = 128;
+        let nb = normalize(&simhash(&base, l));
+        let nn = normalize(&simhash(&near, l));
+        let nf = normalize(&simhash(&far, l));
+        let sim_near = hamming_similarity(&nb, &nn);
+        let sim_far = hamming_similarity(&nb, &nf);
+        assert!(
+            sim_near > sim_far + 0.1,
+            "near {sim_near} not clearly above far {sim_far}"
+        );
+    }
+
+    #[test]
+    fn weights_bias_the_checksum() {
+        // A heavy token should dominate a light conflicting one.
+        let heavy = token(b"heavy", 10.0);
+        let light = token(b"light", 0.1);
+        let c = simhash(&[heavy.clone(), light], 64);
+        let heavy_only = simhash(&[heavy], 64);
+        let nc = normalize(&c);
+        let nh = normalize(&heavy_only);
+        assert_eq!(nc, nh);
+    }
+
+    #[test]
+    fn hamming_similarity_bounds() {
+        let a = vec![true, false, true];
+        assert!((hamming_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let b = vec![false, true, false];
+        assert!(hamming_similarity(&a, &b).abs() < 1e-12);
+    }
+}

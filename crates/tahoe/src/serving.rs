@@ -1,0 +1,302 @@
+//! Online-serving simulation over the engine.
+//!
+//! The paper's motivation (§1) is high-throughput serving — "Facebook uses
+//! high-throughput tree inference engines on GPU to decide which
+//! notifications to send to billions of users". Production servers do not
+//! see one giant batch: requests arrive as a stream and a *batching policy*
+//! trades latency for throughput, which is exactly the regime where Tahoe's
+//! per-batch strategy selection matters (Fig. 6's crossovers).
+//!
+//! [`ServingSim`] replays a request trace against an [`Engine`] on a
+//! simulated clock: requests queue until the batch fills or the oldest
+//! request times out, the batch runs on the simulated GPU, and per-request
+//! latency statistics accumulate. Everything is deterministic.
+
+use tahoe_datasets::SampleMatrix;
+
+use crate::engine::Engine;
+use crate::strategy::Strategy;
+
+/// Dynamic-batching policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchingPolicy {
+    /// Dispatch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Dispatch when the oldest queued request has waited this long (ns).
+    pub max_delay_ns: f64,
+}
+
+impl BatchingPolicy {
+    /// A latency-oriented policy (small batches, tight deadline).
+    #[must_use]
+    pub fn low_latency() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay_ns: 200_000.0,
+        }
+    }
+
+    /// A throughput-oriented policy (large batches, loose deadline).
+    #[must_use]
+    pub fn high_throughput() -> Self {
+        Self {
+            max_batch: 8_192,
+            max_delay_ns: 5_000_000.0,
+        }
+    }
+}
+
+/// One dispatched batch's record.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRecord {
+    /// Requests served.
+    pub size: usize,
+    /// Simulated dispatch time (ns since trace start).
+    pub dispatched_at_ns: f64,
+    /// Simulated GPU time of the batch (ns).
+    pub gpu_ns: f64,
+    /// Strategy the engine selected.
+    pub strategy: Strategy,
+}
+
+/// Aggregate serving statistics.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    /// Per-batch records, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Per-request latencies (queueing + inference), ns.
+    pub latencies_ns: Vec<f64>,
+    /// Simulated end-to-end makespan (ns).
+    pub makespan_ns: f64,
+}
+
+impl ServingReport {
+    /// Requests served.
+    #[must_use]
+    pub fn n_requests(&self) -> usize {
+        self.latencies_ns.len()
+    }
+
+    /// Mean request latency (ns).
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.iter().sum::<f64>() / self.latencies_ns.len() as f64
+    }
+
+    /// Latency percentile in `[0, 1]` (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_percentile_ns(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range");
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Sustained throughput over the makespan (requests per µs).
+    #[must_use]
+    pub fn throughput_per_us(&self) -> f64 {
+        if self.makespan_ns == 0.0 {
+            return 0.0;
+        }
+        self.n_requests() as f64 / (self.makespan_ns / 1_000.0)
+    }
+
+    /// Mean dispatched batch size.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().map(|b| b.size as f64).sum::<f64>() / self.batches.len() as f64
+    }
+}
+
+/// Serving simulator: a request trace, a policy, and an engine.
+pub struct ServingSim<'e> {
+    engine: &'e mut Engine,
+    policy: BatchingPolicy,
+}
+
+impl<'e> ServingSim<'e> {
+    /// Wraps an engine with a batching policy.
+    pub fn new(engine: &'e mut Engine, policy: BatchingPolicy) -> Self {
+        Self { engine, policy }
+    }
+
+    /// Replays a trace of requests arriving at a constant rate.
+    ///
+    /// `samples` supplies the request payloads (row `i % n` serves request
+    /// `i`); `n_requests` requests arrive `interarrival_ns` apart. The GPU
+    /// serves batches one at a time (single simulated stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample matrix is empty or `n_requests == 0`.
+    #[must_use]
+    pub fn run_uniform_trace(
+        &mut self,
+        samples: &SampleMatrix,
+        n_requests: usize,
+        interarrival_ns: f64,
+    ) -> ServingReport {
+        assert!(samples.n_samples() > 0, "need request payloads");
+        assert!(n_requests > 0, "need at least one request");
+        let n_payloads = samples.n_samples();
+        let mut batches = Vec::new();
+        let mut latencies = vec![0.0f64; n_requests];
+        let mut gpu_free_at = 0.0f64;
+        let mut next_request = 0usize;
+        while next_request < n_requests {
+            // Collect the next batch: wait until either max_batch requests
+            // have arrived, or the oldest waiting request hits the deadline
+            // (whichever dispatch instant is earliest once the GPU is free).
+            let first = next_request;
+            let first_arrival = first as f64 * interarrival_ns;
+            let full_at =
+                (first + self.policy.max_batch - 1).min(n_requests - 1) as f64 * interarrival_ns;
+            let deadline = first_arrival + self.policy.max_delay_ns;
+            let dispatch_at = full_at.min(deadline).max(first_arrival).max(gpu_free_at);
+            // Everything that has arrived by the dispatch instant (capped at
+            // max_batch) rides this batch.
+            let arrived = ((dispatch_at / interarrival_ns).floor() as usize + 1)
+                .min(n_requests);
+            let last = arrived.min(first + self.policy.max_batch);
+            let size = last - first;
+            let rows: Vec<usize> = (first..last).map(|r| r % n_payloads).collect();
+            let batch = samples.select(&rows);
+            let result = self.engine.infer(&batch);
+            let gpu_ns = result.run.kernel.total_ns;
+            let finished_at = dispatch_at + gpu_ns;
+            for (i, lat) in latencies
+                .iter_mut()
+                .enumerate()
+                .take(last)
+                .skip(first)
+            {
+                let arrival = i as f64 * interarrival_ns;
+                *lat = finished_at - arrival;
+            }
+            batches.push(BatchRecord {
+                size,
+                dispatched_at_ns: dispatch_at,
+                gpu_ns,
+                strategy: result.strategy,
+            });
+            gpu_free_at = finished_at;
+            next_request = last;
+        }
+        ServingReport {
+            batches,
+            latencies_ns: latencies,
+            makespan_ns: gpu_free_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use tahoe_datasets::{DatasetSpec, Scale};
+    use tahoe_forest::train_for_spec;
+    use tahoe_gpu_sim::device::DeviceSpec;
+
+    fn engine() -> (Engine, SampleMatrix) {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let options = EngineOptions {
+            functional: false,
+            ..EngineOptions::tahoe()
+        };
+        (
+            Engine::new(DeviceSpec::tesla_p100(), forest, options),
+            infer.samples,
+        )
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once() {
+        let (mut e, samples) = engine();
+        let mut sim = ServingSim::new(&mut e, BatchingPolicy::low_latency());
+        let report = sim.run_uniform_trace(&samples, 500, 1_000.0);
+        assert_eq!(report.n_requests(), 500);
+        let served: usize = report.batches.iter().map(|b| b.size).sum();
+        assert_eq!(served, 500);
+        assert!(report.latencies_ns.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn batch_sizes_respect_the_policy() {
+        let (mut e, samples) = engine();
+        let policy = BatchingPolicy {
+            max_batch: 32,
+            max_delay_ns: 1e12,
+        };
+        let mut sim = ServingSim::new(&mut e, policy);
+        let report = sim.run_uniform_trace(&samples, 200, 100.0);
+        for b in &report.batches {
+            assert!(b.size <= 32);
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_queueing_latency_under_light_load() {
+        let (mut e, samples) = engine();
+        let policy = BatchingPolicy {
+            max_batch: 100_000,
+            max_delay_ns: 50_000.0,
+        };
+        let mut sim = ServingSim::new(&mut e, policy);
+        // Slow arrivals: the deadline, not the batch size, dispatches.
+        let report = sim.run_uniform_trace(&samples, 100, 10_000.0);
+        let gpu_max = report
+            .batches
+            .iter()
+            .map(|b| b.gpu_ns)
+            .fold(0.0f64, f64::max);
+        let p100 = report.latency_percentile_ns(1.0);
+        assert!(
+            p100 <= 50_000.0 + gpu_max * 2.0 + 10_000.0,
+            "tail latency {p100} not bounded by deadline + service"
+        );
+    }
+
+    #[test]
+    fn throughput_policy_builds_bigger_batches_than_latency_policy() {
+        let (mut e, samples) = engine();
+        let fast_arrivals = 50.0;
+        let lat = ServingSim::new(&mut e, BatchingPolicy::low_latency())
+            .run_uniform_trace(&samples, 2_000, fast_arrivals);
+        let thr = ServingSim::new(&mut e, BatchingPolicy::high_throughput())
+            .run_uniform_trace(&samples, 2_000, fast_arrivals);
+        assert!(thr.mean_batch_size() > lat.mean_batch_size());
+        // Larger batches amortize better: fewer dispatches.
+        assert!(thr.batches.len() < lat.batches.len());
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let (mut e, samples) = engine();
+        let mut sim = ServingSim::new(&mut e, BatchingPolicy::low_latency());
+        let report = sim.run_uniform_trace(&samples, 300, 500.0);
+        let p50 = report.latency_percentile_ns(0.5);
+        let p99 = report.latency_percentile_ns(0.99);
+        assert!(p50 <= p99);
+        assert!(report.mean_latency_ns() > 0.0);
+        assert!(report.throughput_per_us() > 0.0);
+        assert!(report.makespan_ns >= 300.0 * 500.0 - 500.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Shared machinery for the inference-strategy kernels.
+
+use tahoe_datasets::SampleMatrix;
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::kernel::{Detail, KernelResult};
+use tahoe_gpu_sim::memory::GlobalBuffer;
+use tahoe_gpu_sim::{BlockSim, WarpSim};
+
+use crate::format::DeviceForest;
+
+/// The four inference strategies of §5.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Strategy {
+    /// FIL's algorithm: samples in shared memory, trees round-robin across
+    /// threads, block-wide reduction per sample.
+    SharedData,
+    /// Whole forest per thread, everything in global memory, reduction-free.
+    Direct,
+    /// Whole forest in shared memory, one sample per thread, reduction-free.
+    SharedForest,
+    /// Forest split across blocks' shared memories; global reduction per
+    /// batch.
+    SplittingSharedForest,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::SharedData,
+        Strategy::Direct,
+        Strategy::SharedForest,
+        Strategy::SplittingSharedForest,
+    ];
+
+    /// Paper name of the strategy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::SharedData => "shared data",
+            Strategy::Direct => "direct",
+            Strategy::SharedForest => "shared forest",
+            Strategy::SplittingSharedForest => "splitting shared forest",
+        }
+    }
+
+    /// Whether the strategy needs a block-wide reduction.
+    #[must_use]
+    pub fn has_block_reduction(self) -> bool {
+        self == Strategy::SharedData
+    }
+
+    /// Whether the strategy needs a device-wide reduction.
+    #[must_use]
+    pub fn has_global_reduction(self) -> bool {
+        self == Strategy::SplittingSharedForest
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Inputs of one strategy launch.
+#[derive(Clone, Copy)]
+pub struct LaunchContext<'a> {
+    /// Target device.
+    pub device: &'a DeviceSpec,
+    /// Device-formatted forest.
+    pub forest: &'a DeviceForest,
+    /// The sample batch.
+    pub samples: &'a SampleMatrix,
+    /// Simulated allocation holding the batch (row-major f32).
+    pub sample_buf: GlobalBuffer,
+    /// Block-sampling level for the simulation.
+    pub detail: Detail,
+    /// Threads per block (Algorithm 1 line 14 tunes this; see
+    /// [`crate::tune`]). Must be a positive multiple of the warp size.
+    pub block_threads: usize,
+}
+
+impl LaunchContext<'_> {
+    /// The context's block size, clamped to the device's limits and rounded
+    /// to whole warps.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        let warp = self.device.warp_size as usize;
+        let max = self.device.max_threads_per_block as usize;
+        (self.block_threads.max(warp) / warp * warp).min(max)
+    }
+}
+
+/// Launch geometry a strategy chose (feeds the performance models'
+/// `Num_of_threads` / `Num_of_thrd_blocks`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Blocks in the grid.
+    pub grid_blocks: usize,
+    /// Shared memory per block (bytes).
+    pub smem_per_block: usize,
+    /// Forest parts (splitting shared forest's `P`; 1 elsewhere). The grid
+    /// may tile samples on top: `grid_blocks = parts × tiles`.
+    pub parts: usize,
+}
+
+impl Geometry {
+    /// Sample tiles in the grid (`grid_blocks / parts`).
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        (self.grid_blocks / self.parts.max(1)).max(1)
+    }
+}
+
+/// Result of one strategy launch.
+#[derive(Clone, Debug)]
+pub struct StrategyRun {
+    /// Which strategy ran.
+    pub strategy: Strategy,
+    /// Simulated kernel outcome.
+    pub kernel: KernelResult,
+    /// Geometry used.
+    pub geometry: Geometry,
+    /// Samples processed.
+    pub n_samples: usize,
+}
+
+impl StrategyRun {
+    /// Simulated throughput in samples per microsecond (Fig. 5/6's y-axis).
+    #[must_use]
+    pub fn throughput_samples_per_us(&self) -> f64 {
+        if self.kernel.total_ns == 0.0 {
+            0.0
+        } else {
+            self.n_samples as f64 / (self.kernel.total_ns / 1_000.0)
+        }
+    }
+
+    /// Simulated ns per sample.
+    #[must_use]
+    pub fn ns_per_sample(&self) -> f64 {
+        self.kernel.total_ns / self.n_samples as f64
+    }
+}
+
+/// Default threads per block (FIL's default; Algorithm 1 line 14 may tune
+/// it per launch).
+pub const THREADS_PER_BLOCK: usize = 256;
+
+/// Round-robin tree assignment: thread `t` owns layout trees
+/// `t, t + T, t + 2T, ...` (§2: "trees in the tree ensemble are evenly
+/// assigned to threads in a round-robin way").
+#[must_use]
+pub fn round_robin_trees(n_trees: usize, n_threads: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); n_threads];
+    for tree in 0..n_trees {
+        out[tree % n_threads].push(tree as u32);
+    }
+    out
+}
+
+/// Simulated address of `samples[sample][attr]`.
+#[must_use]
+pub fn sample_attr_addr(
+    buf: GlobalBuffer,
+    n_attributes: usize,
+    sample: usize,
+    attr: usize,
+) -> u64 {
+    buf.elem_addr((sample * n_attributes + attr) as u64, 4)
+}
+
+/// Simulates a block cooperatively streaming `n_words` consecutive f32 words
+/// from global memory into shared memory (fully coalesced reads + shared
+/// writes), spreading the work over the block's warps.
+///
+/// Used for the sample staging of shared-data and the forest staging of
+/// splitting-shared-forest. Returns nothing; costs accrue on the block.
+pub fn simulate_staging(block: &mut BlockSim<'_>, base_addr: u64, n_words: usize, n_warps: usize) {
+    let warp_size = 32usize;
+    let total_steps = n_words.div_ceil(warp_size);
+    let lanes: Vec<u8> = (0..warp_size as u8).collect();
+    for w in 0..n_warps {
+        let mut warp = block.warp();
+        // Warp w handles steps w, w + W, ... (grid-stride loop).
+        let mut step = w;
+        let mut accesses: Vec<(u8, u64)> = Vec::with_capacity(warp_size);
+        while step < total_steps {
+            accesses.clear();
+            let start = step * warp_size;
+            let end = (start + warp_size).min(n_words);
+            for (lane, word) in (start..end).enumerate() {
+                accesses.push((lane as u8, base_addr + word as u64 * 4));
+            }
+            warp.gmem_read_streamed(&accesses, 4, None);
+            warp.smem_access(&lanes[..end - start], 4);
+            step += n_warps;
+        }
+        // Staging is cooperative block-wide work, not a per-thread workload:
+        // blank the lane-busy times so imbalance metrics (Fig. 2c, Table 3)
+        // measure traversal threads only, as the paper's profiling does.
+        let mut result = warp.finish();
+        for busy in &mut result.lane_busy_ns {
+            *busy = 0.0;
+        }
+        block.push_warp(result);
+    }
+}
+
+/// Per-lane traversal state machine over one tree, shared by the
+/// thread-per-sample strategies.
+///
+/// `lane_samples[lane] = Some(sample_idx)` for active lanes. Runs the level-
+/// synchronous loop: node read (from `node_src`), attribute read (from
+/// `attr_src`), node evaluation, advance — until every lane reaches a leaf.
+pub struct TraversalConfig {
+    /// Where node reads come from.
+    pub nodes_shared: bool,
+    /// Where attribute reads come from.
+    pub attrs_shared: bool,
+    /// Tag gmem node reads with the tree level (Fig. 2a instrumentation).
+    pub tag_levels: bool,
+}
+
+/// Walks `tree` for every lane's sample, charging accesses to `warp`.
+#[allow(clippy::too_many_arguments)]
+pub fn traverse_tree_warp(
+    warp: &mut WarpSim<'_>,
+    forest: &DeviceForest,
+    samples: &SampleMatrix,
+    sample_buf: GlobalBuffer,
+    layout_tree: usize,
+    lane_samples: &[Option<usize>],
+    cfg: &TraversalConfig,
+    scratch: &mut TraversalScratch,
+) {
+    let root = forest.roots()[layout_tree];
+    scratch.slots.clear();
+    scratch
+        .slots
+        .extend(lane_samples.iter().map(|s| s.map(|_| root)));
+    let n_attr = samples.n_attributes();
+    let mut level = 0u32;
+    loop {
+        // Gather active lanes' node reads.
+        scratch.node_accesses.clear();
+        for (lane, slot) in scratch.slots.iter().enumerate() {
+            if let Some(slot) = slot {
+                scratch
+                    .node_accesses
+                    .push((lane as u8, forest.node_addr(*slot)));
+            }
+        }
+        if scratch.node_accesses.is_empty() {
+            break;
+        }
+        let node_bytes = forest.node_bytes() as u64;
+        if cfg.nodes_shared {
+            scratch.active_lanes.clear();
+            scratch
+                .active_lanes
+                .extend(scratch.node_accesses.iter().map(|&(l, _)| l));
+            warp.smem_access(&scratch.active_lanes, node_bytes);
+        } else {
+            let tag = cfg.tag_levels.then_some(level);
+            warp.gmem_read(&scratch.node_accesses, node_bytes, tag);
+        }
+        // Attribute reads + evaluation for lanes at decision nodes.
+        scratch.attr_accesses.clear();
+        scratch.eval_lanes.clear();
+        #[allow(clippy::needless_range_loop)] // `lane` is the SIMT lane id.
+        for lane in 0..scratch.slots.len() {
+            let Some(slot) = scratch.slots[lane] else { continue };
+            let node = forest.node(slot);
+            if node.leaf {
+                scratch.slots[lane] = None;
+                continue;
+            }
+            let sample = lane_samples[lane].expect("active lane has a sample");
+            scratch.eval_lanes.push(lane as u8);
+            scratch.attr_accesses.push((
+                lane as u8,
+                sample_attr_addr(sample_buf, n_attr, sample, node.attribute as usize),
+            ));
+            let value = samples.get(sample, node.attribute as usize);
+            scratch.slots[lane] = Some(node.next_slot(value).expect("decision nodes route"));
+        }
+        if !scratch.eval_lanes.is_empty() {
+            if cfg.attrs_shared {
+                warp.smem_access(&scratch.eval_lanes, 4);
+            } else {
+                warp.gmem_read(&scratch.attr_accesses, 4, None);
+            }
+            warp.node_eval(&scratch.eval_lanes);
+        }
+        level += 1;
+    }
+}
+
+/// Reusable buffers for the traversal loop (allocation-free inner loop).
+#[derive(Default)]
+pub struct TraversalScratch {
+    slots: Vec<Option<u32>>,
+    node_accesses: Vec<(u8, u64)>,
+    attr_accesses: Vec<(u8, u64)>,
+    active_lanes: Vec<u8>,
+    eval_lanes: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_trees_evenly() {
+        let a = round_robin_trees(10, 4);
+        assert_eq!(a[0], vec![0, 4, 8]);
+        assert_eq!(a[1], vec![1, 5, 9]);
+        assert_eq!(a[2], vec![2, 6]);
+        assert_eq!(a[3], vec![3, 7]);
+    }
+
+    #[test]
+    fn round_robin_with_more_threads_than_trees() {
+        let a = round_robin_trees(2, 4);
+        assert_eq!(a[0], vec![0]);
+        assert_eq!(a[1], vec![1]);
+        assert!(a[2].is_empty());
+    }
+
+    #[test]
+    fn strategy_names_and_reduction_flags() {
+        assert_eq!(Strategy::SharedData.name(), "shared data");
+        assert!(Strategy::SharedData.has_block_reduction());
+        assert!(!Strategy::Direct.has_block_reduction());
+        assert!(Strategy::SplittingSharedForest.has_global_reduction());
+        assert!(!Strategy::SharedForest.has_global_reduction());
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! The *splitting shared forest* strategy (paper §5.1).
+//!
+//! The forest is split into `P` consecutive parts, each small enough for one
+//! block's shared memory; each block stages one part and evaluates it for its
+//! samples; a device-wide segmented reduction combines the `P` partial sums
+//! per sample. The forest restage and the global reduction amortize over the
+//! batch, which is why this strategy wins at large batch sizes (Fig. 6).
+//!
+//! One refinement over the paper's one-block-per-part description: when `P`
+//! is smaller than the device's block concurrency, samples are additionally
+//! tiled across `T` block groups (`grid = P × T`), each staging its part
+//! again. Without this, a forest splitting into fewer parts than SMs would
+//! idle most of the device; the extra restaging traffic is charged honestly
+//! and appears in the performance model (Eq. 7's staging term scales by `T`).
+
+use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
+use tahoe_gpu_sim::occupancy::concurrent_blocks;
+
+use super::common::{
+    simulate_staging, traverse_tree_warp, Geometry, LaunchContext, Strategy, StrategyRun,
+    TraversalConfig, TraversalScratch,
+};
+use crate::format::DeviceForest;
+
+/// Splits layout trees into consecutive parts each fitting `budget` bytes.
+///
+/// Returns `None` if a single tree exceeds the budget.
+#[must_use]
+pub fn partition_trees(
+    forest: &DeviceForest,
+    budget: usize,
+) -> Option<Vec<std::ops::Range<usize>>> {
+    let n = forest.n_trees();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let mut end = start;
+        let mut bytes = 0usize;
+        while end < n {
+            let tree_bytes = forest.trees_smem_bytes(end, end + 1);
+            if tree_bytes > budget {
+                return None;
+            }
+            if bytes + tree_bytes > budget {
+                break;
+            }
+            bytes += tree_bytes;
+            end += 1;
+        }
+        parts.push(start..end);
+        start = end;
+    }
+    Some(parts)
+}
+
+/// Computes `(parts, tiles, smem)` for a context; `None` when infeasible.
+fn shape(ctx: &LaunchContext<'_>) -> Option<(Vec<std::ops::Range<usize>>, usize, usize)> {
+    let parts = partition_trees(ctx.forest, ctx.device.shared_mem_per_block)?;
+    let smem = parts
+        .iter()
+        .map(|p| ctx.forest.trees_smem_bytes(p.start, p.end))
+        .max()
+        .unwrap_or(0);
+    let n = ctx.samples.n_samples().max(1);
+    let threads = ctx.threads();
+    let concurrent = concurrent_blocks(ctx.device, threads, smem);
+    let max_tiles = n.div_ceil(threads).max(1);
+    let tiles = (concurrent / parts.len().max(1)).clamp(1, max_tiles);
+    Some((parts, tiles, smem))
+}
+
+/// Launch geometry: `P × T` blocks.
+///
+/// Returns `None` if some tree cannot fit shared memory at all.
+#[must_use]
+pub fn geometry(ctx: &LaunchContext<'_>) -> Option<Geometry> {
+    let (parts, tiles, smem) = shape(ctx)?;
+    Some(Geometry {
+        threads_per_block: ctx.threads(),
+        grid_blocks: parts.len() * tiles,
+        smem_per_block: smem,
+        parts: parts.len(),
+    })
+}
+
+/// Runs the strategy; `None` when infeasible.
+///
+/// # Panics
+///
+/// Panics if the batch is empty.
+#[must_use]
+pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
+    let n = ctx.samples.n_samples();
+    assert!(n > 0, "cannot infer an empty batch");
+    let (parts, tiles, smem) = shape(ctx)?;
+    let geo = geometry(ctx)?;
+    let n_parts = parts.len();
+    let warp = ctx.device.warp_size as usize;
+    let threads = geo.threads_per_block;
+    let n_warps = threads / warp;
+    let tile_len = n.div_ceil(tiles);
+    let cfg = TraversalConfig {
+        nodes_shared: true,
+        attrs_shared: false,
+        tag_levels: false,
+    };
+    let mut kernel = KernelSim::new(ctx.device, geo.grid_blocks, threads, smem);
+    let mut scratch = TraversalScratch::default();
+    let mut lane_samples: Vec<Option<usize>> = Vec::with_capacity(warp);
+    for block_idx in sample_plan(geo.grid_blocks, ctx.detail) {
+        let part = parts[block_idx % n_parts].clone();
+        let tile = block_idx / n_parts;
+        let t0 = tile * tile_len;
+        let t1 = (t0 + tile_len).min(n);
+        let mut block = kernel.block();
+        // Stage this part's trees from global to shared memory (coalesced).
+        let part_bytes = ctx.forest.trees_smem_bytes(part.start, part.end);
+        if part_bytes > 0 {
+            let base = ctx.forest.node_addr(ctx.forest.roots()[part.start]);
+            simulate_staging(&mut block, base, part_bytes / 4, n_warps);
+        }
+        let rounds = (t1.saturating_sub(t0)).div_ceil(threads);
+        for w in 0..n_warps {
+            let mut warp_sim = block.warp();
+            for round in 0..rounds {
+                lane_samples.clear();
+                for lane in 0..warp {
+                    let sample = t0 + round * threads + w * warp + lane;
+                    lane_samples.push((sample < t1).then_some(sample));
+                }
+                if lane_samples.iter().all(Option::is_none) {
+                    continue;
+                }
+                for tree in part.clone() {
+                    traverse_tree_warp(
+                        &mut warp_sim,
+                        ctx.forest,
+                        ctx.samples,
+                        ctx.sample_buf,
+                        tree,
+                        &lane_samples,
+                        &cfg,
+                        &mut scratch,
+                    );
+                }
+            }
+            block.push_warp(warp_sim.finish());
+        }
+        kernel.push_block(block.finish());
+    }
+    // One segmented reduction over P partials per sample for the batch.
+    kernel.global_reduce_values(n_parts, (n_parts * n) as u64, 4);
+    Some(StrategyRun {
+        strategy: Strategy::SplittingSharedForest,
+        kernel: kernel.finish(),
+        geometry: geo,
+        n_samples: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::testutil::{context, Fixture};
+    use tahoe_gpu_sim::kernel::Detail;
+
+    #[test]
+    fn partition_covers_all_trees_consecutively() {
+        let fx = Fixture::trained("higgs");
+        let ctx = context(&fx, Detail::Full);
+        let parts = partition_trees(ctx.forest, 4 * 1024).unwrap();
+        assert!(parts.len() > 1, "small budget must force multiple parts");
+        let mut next = 0;
+        for p in &parts {
+            assert_eq!(p.start, next);
+            assert!(p.end > p.start);
+            assert!(ctx.forest.trees_smem_bytes(p.start, p.end) <= 4 * 1024);
+            next = p.end;
+        }
+        assert_eq!(next, ctx.forest.n_trees());
+    }
+
+    #[test]
+    fn oversized_tree_is_infeasible() {
+        let fx = Fixture::trained("letter");
+        let ctx = context(&fx, Detail::Full);
+        assert!(partition_trees(ctx.forest, 8).is_none());
+    }
+
+    #[test]
+    fn grid_tiles_samples_to_fill_the_device() {
+        let fx = Fixture::trained("higgs");
+        let ctx = context(&fx, Detail::Sampled(1));
+        let geo = geometry(&ctx).unwrap();
+        assert_eq!(geo.grid_blocks % geo.parts, 0);
+        let tiles = geo.tiles();
+        // Either the device is filled or samples ran out.
+        let concurrent = concurrent_blocks(ctx.device, geo.threads_per_block, geo.smem_per_block);
+        let max_tiles = ctx.samples.n_samples().div_ceil(geo.threads_per_block);
+        assert!(geo.grid_blocks >= concurrent.min(geo.parts * max_tiles) / 2);
+        assert!(tiles <= max_tiles);
+    }
+
+    #[test]
+    fn run_includes_global_reduction() {
+        let fx = Fixture::trained("higgs");
+        let run = run(&context(&fx, Detail::Sampled(2))).unwrap();
+        assert!(run.kernel.global_reduction_ns > 0.0);
+        assert_eq!(run.kernel.block_reduction_wall_ns, 0.0);
+    }
+
+    #[test]
+    fn global_reduction_amortizes_with_batch_size() {
+        // Per-sample reduction cost must shrink as the batch grows — the
+        // mechanism behind the Fig. 6 crossover.
+        let small = Fixture::trained_with_batch("higgs", 64);
+        let large = Fixture::trained_with_batch("higgs", 512);
+        let rs = run(&context(&small, Detail::Sampled(2))).unwrap();
+        let rl = run(&context(&large, Detail::Sampled(2))).unwrap();
+        let per_sample_small = rs.kernel.global_reduction_ns / rs.n_samples as f64;
+        let per_sample_large = rl.kernel.global_reduction_ns / rl.n_samples as f64;
+        assert!(
+            per_sample_large < per_sample_small,
+            "{per_sample_large} !< {per_sample_small}"
+        );
+    }
+}

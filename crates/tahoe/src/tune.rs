@@ -1,0 +1,135 @@
+//! Launch tuning (Algorithm 1 line 14: "Set the maximum number of threads to
+//! hide latency, and set the number of blocks to maximize the occupancy").
+//!
+//! Block size trades occupancy against per-block resources: bigger blocks
+//! amortize staging and widen reductions; smaller blocks raise residency.
+//! The tuner evaluates the performance model over a candidate block-size
+//! ladder for each strategy and keeps the cheapest — the grid size follows
+//! from each strategy's geometry (one wave target, occupancy-aware).
+
+use tahoe_gpu_sim::MeasuredParams;
+
+use crate::perfmodel::{predict, ModelInputs, Prediction};
+use crate::strategy::{self, LaunchContext, Strategy};
+
+/// Candidate block sizes (whole warps; clamped to the device limit).
+pub const THREAD_CANDIDATES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// The model-predicted best block size for one strategy, with its prediction.
+///
+/// Returns `None` when the strategy is infeasible on this context.
+#[must_use]
+pub fn tune_strategy(
+    strategy: Strategy,
+    ctx: &LaunchContext<'_>,
+    inputs: &ModelInputs,
+    hw: &MeasuredParams,
+) -> Option<(usize, Prediction)> {
+    let mut best: Option<(usize, Prediction)> = None;
+    for &threads in &THREAD_CANDIDATES {
+        if threads > ctx.device.max_threads_per_block as usize {
+            continue;
+        }
+        let candidate = LaunchContext {
+            block_threads: threads,
+            ..*ctx
+        };
+        let Some(geometry) = strategy::geometry(strategy, &candidate) else {
+            continue;
+        };
+        let p = predict(strategy, inputs, hw, &geometry, ctx.device);
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| p.total() < b.total())
+        {
+            best = Some((threads, p));
+        }
+    }
+    best
+}
+
+/// Tunes every feasible strategy; returns `(strategy, block size,
+/// prediction)` triples sorted cheapest-first.
+#[must_use]
+pub fn tune_all(
+    ctx: &LaunchContext<'_>,
+    inputs: &ModelInputs,
+    hw: &MeasuredParams,
+) -> Vec<(Strategy, usize, Prediction)> {
+    let mut out: Vec<(Strategy, usize, Prediction)> = Strategy::ALL
+        .into_iter()
+        .filter_map(|s| tune_strategy(s, ctx, inputs, hw).map(|(t, p)| (s, t, p)))
+        .collect();
+    out.sort_by(|a, b| {
+        a.2.total()
+            .partial_cmp(&b.2.total())
+            .expect("finite predictions")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::testutil::{context, Fixture};
+    use tahoe_gpu_sim::kernel::Detail;
+    use tahoe_gpu_sim::measure;
+
+    fn setup() -> (Fixture, ModelInputs, MeasuredParams) {
+        let fx = Fixture::trained("letter");
+        let inputs = ModelInputs::gather(&fx.device_forest, &fx.forest.stats(), &fx.samples);
+        let hw = measure(&fx.device);
+        (fx, inputs, hw)
+    }
+
+    #[test]
+    fn tuned_threads_are_valid_block_sizes() {
+        let (fx, inputs, hw) = setup();
+        let ctx = context(&fx, Detail::Sampled(1));
+        for (s, threads, _) in tune_all(&ctx, &inputs, &hw) {
+            assert!(THREAD_CANDIDATES.contains(&threads), "{s}: {threads}");
+            assert!(threads <= fx.device.max_threads_per_block as usize);
+        }
+    }
+
+    #[test]
+    fn tuned_prediction_never_worse_than_default() {
+        let (fx, inputs, hw) = setup();
+        let ctx = context(&fx, Detail::Sampled(1));
+        for s in Strategy::ALL {
+            let Some((_, tuned)) = tune_strategy(s, &ctx, &inputs, &hw) else {
+                continue;
+            };
+            let default_geo = strategy::geometry(s, &ctx).expect("feasible");
+            let default = predict(s, &inputs, &hw, &default_geo, ctx.device);
+            assert!(
+                tuned.total() <= default.total() * 1.000_001,
+                "{s}: tuned {} > default {}",
+                tuned.total(),
+                default.total()
+            );
+        }
+    }
+
+    #[test]
+    fn tune_all_is_sorted_and_covers_feasible_strategies() {
+        let (fx, inputs, hw) = setup();
+        let ctx = context(&fx, Detail::Sampled(1));
+        let tuned = tune_all(&ctx, &inputs, &hw);
+        assert!(tuned.len() >= 2, "shared data and direct are always feasible");
+        for w in tuned.windows(2) {
+            assert!(w[0].2.total() <= w[1].2.total());
+        }
+    }
+
+    #[test]
+    fn infeasible_strategy_returns_none() {
+        let (fx, inputs, hw) = setup();
+        let mut ctx = context(&fx, Detail::Sampled(1));
+        let mut tiny = ctx.device.clone();
+        tiny.shared_mem_per_block = 64;
+        tiny.shared_mem_per_sm = 64;
+        ctx.device = &tiny;
+        assert!(tune_strategy(Strategy::SharedForest, &ctx, &inputs, &hw).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Degenerate-input edge cases: the engine must handle pathological forests
+//! and batches without panicking or producing wrong answers.
+
+use tahoe::engine::{Engine, EngineOptions};
+use tahoe::strategy::Strategy;
+use tahoe_datasets::{ForestKind, SampleMatrix, Task};
+use tahoe_forest::{Forest, Node, Tree};
+use tahoe_gpu_sim::device::DeviceSpec;
+
+fn stump(attr: u32, threshold: f32, left: f32, right: f32, prob: f32) -> Tree {
+    Tree::new(vec![
+        Node::Decision {
+            attribute: attr,
+            threshold,
+            default_left: true,
+            left: 1,
+            right: 2,
+            left_prob: prob,
+        },
+        Node::Leaf { value: left },
+        Node::Leaf { value: right },
+    ])
+}
+
+#[test]
+fn single_leaf_forest_runs_every_strategy() {
+    let forest = Forest::new(
+        vec![Tree::leaf(2.5)],
+        1,
+        ForestKind::Gbdt,
+        Task::Regression,
+        0.5,
+    );
+    let samples = SampleMatrix::from_vec(10, 1, (0..10).map(|i| i as f32).collect());
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+    for s in Strategy::ALL {
+        if !engine.feasible(s, &samples) {
+            continue;
+        }
+        let r = engine.infer_with(&samples, Some(s));
+        for p in &r.predictions {
+            assert!((p - 3.0).abs() < 1e-6, "leaf 2.5 + base 0.5 = 3.0, got {p}");
+        }
+    }
+}
+
+#[test]
+fn one_sample_batch() {
+    let forest = Forest::new(
+        vec![stump(0, 0.0, 1.0, -1.0, 0.6)],
+        1,
+        ForestKind::Gbdt,
+        Task::Regression,
+        0.0,
+    );
+    let samples = SampleMatrix::from_vec(1, 1, vec![-0.5]);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_k80(), forest);
+    let r = engine.infer(&samples);
+    assert_eq!(r.predictions, vec![1.0]);
+    assert!(r.run.kernel.total_ns > 0.0);
+}
+
+#[test]
+fn one_tree_forest_with_all_strategies() {
+    let forest = Forest::new(
+        vec![stump(0, 0.5, 10.0, 20.0, 0.4)],
+        2,
+        ForestKind::RandomForest,
+        Task::Regression,
+        0.0,
+    );
+    let samples = SampleMatrix::from_vec(
+        4,
+        2,
+        vec![0.0, 9.0, 1.0, 9.0, 0.4, 9.0, 0.6, 9.0],
+    );
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_v100(), forest);
+    for s in Strategy::ALL {
+        if !engine.feasible(s, &samples) {
+            continue;
+        }
+        let r = engine.infer_with(&samples, Some(s));
+        assert_eq!(r.predictions, vec![10.0, 20.0, 10.0, 20.0], "{s}");
+    }
+}
+
+#[test]
+fn forest_with_more_trees_than_threads() {
+    // 600 identical stumps exceed the 256-thread block: multiple rounds per
+    // thread in shared data; splitting must partition.
+    let trees: Vec<Tree> = (0..600)
+        .map(|i| stump(0, 0.0, 0.01, -0.01, 0.3 + (i % 5) as f32 / 10.0))
+        .collect();
+    let forest = Forest::new(trees, 1, ForestKind::Gbdt, Task::Regression, 0.0);
+    let samples = SampleMatrix::from_vec(64, 1, vec![-1.0; 64]);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+    let r = engine.infer(&samples);
+    for p in &r.predictions {
+        assert!((p - 6.0).abs() < 1e-3, "600 x 0.01 = 6.0, got {p}");
+    }
+}
+
+#[test]
+fn all_missing_sample_follows_default_paths() {
+    let forest = Forest::new(
+        vec![stump(0, 0.0, 7.0, -7.0, 0.5)],
+        1,
+        ForestKind::Gbdt,
+        Task::Regression,
+        0.0,
+    );
+    let samples = SampleMatrix::from_vec(2, 1, vec![f32::NAN, f32::NAN]);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+    let r = engine.infer(&samples);
+    // default_left = true → leaf 7.0.
+    assert_eq!(r.predictions, vec![7.0, 7.0]);
+}
+
+#[test]
+fn extreme_probabilities_still_layout_correctly() {
+    // left_prob 0.0 and 1.0 exercise both swap decisions at the boundary.
+    let trees = vec![
+        stump(0, 0.0, 1.0, 2.0, 0.0),
+        stump(0, 0.0, 4.0, 8.0, 1.0),
+    ];
+    let forest = Forest::new(trees, 1, ForestKind::Gbdt, Task::Regression, 0.0);
+    let samples = SampleMatrix::from_vec(2, 1, vec![-1.0, 1.0]);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+    let r = engine.infer(&samples);
+    assert_eq!(r.predictions, vec![5.0, 10.0]);
+}
+
+#[test]
+fn fil_options_handle_the_same_edge_cases() {
+    let forest = Forest::new(
+        vec![Tree::leaf(-1.0), stump(0, 0.0, 1.0, 2.0, 0.7)],
+        1,
+        ForestKind::Gbdt,
+        Task::Regression,
+        0.0,
+    );
+    let samples = SampleMatrix::from_vec(3, 1, vec![-1.0, 0.0, f32::NAN]);
+    let mut engine = Engine::new(
+        DeviceSpec::tesla_k80(),
+        forest,
+        EngineOptions::fil(),
+    );
+    let r = engine.infer(&samples);
+    assert_eq!(r.predictions, vec![0.0, 1.0, 0.0]);
+    assert_eq!(r.strategy, Strategy::SharedData);
+}

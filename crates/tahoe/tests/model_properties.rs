@@ -1,0 +1,129 @@
+//! Property-based tests of the performance models: Eq. 4–7 plus the latency
+//! extension must behave sanely over the whole input space, not just the 15
+//! Table 2 points.
+
+use proptest::prelude::*;
+
+use tahoe::perfmodel::{predict, ModelInputs};
+use tahoe::strategy::{Geometry, Strategy};
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::measure;
+
+fn inputs(n_trees: f64, d_tree: f64, n_batch: f64, s_sample: f64) -> ModelInputs {
+    ModelInputs {
+        s_sample,
+        n_batch,
+        d_tree,
+        n_trees,
+        s_node: 14.0,
+        s_att: 4.0,
+        n_nodes: (2.0f64).powf(d_tree + 1.0) - 1.0,
+        s_forest: n_trees * ((2.0f64).powf(d_tree + 1.0) - 1.0) * 14.0,
+    }
+}
+
+fn geometry(threads: usize, grid: usize, smem: usize, parts: usize) -> Geometry {
+    Geometry {
+        threads_per_block: threads,
+        grid_blocks: grid,
+        smem_per_block: smem,
+        parts,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictions_are_finite_and_positive(
+        n_trees in 1.0f64..4000.0,
+        d_tree in 1.0f64..20.0,
+        n_batch in 1.0f64..1_000_000.0,
+        s_sample in 8.0f64..20_000.0,
+        threads in prop::sample::select(vec![64usize, 128, 256, 512]),
+        parts in 1usize..64,
+    ) {
+        let device = DeviceSpec::tesla_p100();
+        let hw = measure(&device);
+        let i = inputs(n_trees, d_tree, n_batch, s_sample);
+        for s in Strategy::ALL {
+            let grid = (n_batch / threads as f64).ceil().max(1.0) as usize;
+            let geo = match s {
+                Strategy::SplittingSharedForest => geometry(threads, grid.max(parts), 32 << 10, parts),
+                Strategy::SharedForest => geometry(threads, grid, 32 << 10, 1),
+                _ => geometry(threads, grid, 0, 1),
+            };
+            let p = predict(s, &i, &hw, &geo, &device);
+            prop_assert!(p.total().is_finite(), "{s}: total not finite");
+            prop_assert!(p.total() > 0.0, "{s}: total {} <= 0", p.total());
+            prop_assert!(p.t_smem >= 0.0 && p.t_gmem >= 0.0 && p.t_serial >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_forest_size(
+        n_trees in 1.0f64..1000.0,
+        factor in 1.1f64..8.0,
+        d_tree in 1.0f64..15.0,
+    ) {
+        // More trees must never be predicted cheaper (same geometry).
+        let device = DeviceSpec::tesla_v100();
+        let hw = measure(&device);
+        let geo = geometry(256, 64, 0, 1);
+        for s in [Strategy::SharedData, Strategy::Direct] {
+            let small = predict(s, &inputs(n_trees, d_tree, 10_000.0, 256.0), &hw, &geo, &device);
+            let big = predict(
+                s,
+                &inputs(n_trees * factor, d_tree, 10_000.0, 256.0),
+                &hw,
+                &geo,
+                &device,
+            );
+            prop_assert!(
+                big.total() >= small.total() * 0.999,
+                "{s}: {} trees {} > {} trees {}",
+                n_trees, small.total(), n_trees * factor, big.total()
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_reductions_amortize_monotonically(
+        n_batch in 10.0f64..100_000.0,
+        factor in 2.0f64..50.0,
+    ) {
+        let device = DeviceSpec::tesla_k80();
+        let hw = measure(&device);
+        let geo = geometry(256, 32, 32 << 10, 8);
+        let i_small = inputs(500.0, 8.0, n_batch, 112.0);
+        let i_large = inputs(500.0, 8.0, n_batch * factor, 112.0);
+        let small = predict(Strategy::SplittingSharedForest, &i_small, &hw, &geo, &device);
+        let large = predict(Strategy::SplittingSharedForest, &i_large, &hw, &geo, &device);
+        prop_assert!(large.t_g_redu <= small.t_g_redu * 1.0001);
+    }
+
+    #[test]
+    fn deeper_trees_cost_more(
+        d_tree in 1.0f64..18.0,
+        extra in 0.5f64..6.0,
+    ) {
+        let device = DeviceSpec::tesla_p100();
+        let hw = measure(&device);
+        let geo = geometry(256, 128, 0, 1);
+        let shallow = predict(
+            Strategy::Direct,
+            &inputs(200.0, d_tree, 50_000.0, 112.0),
+            &hw,
+            &geo,
+            &device,
+        );
+        let deep = predict(
+            Strategy::Direct,
+            &inputs(200.0, d_tree + extra, 50_000.0, 112.0),
+            &hw,
+            &geo,
+            &device,
+        );
+        prop_assert!(deep.total() >= shallow.total() * 0.999);
+    }
+}

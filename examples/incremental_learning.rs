@@ -1,0 +1,74 @@
+//! Incremental learning (paper §4.2 / §6.2): when the forest is updated with
+//! newly learned trees, Tahoe re-counts edge probabilities and re-converts
+//! the format — the rearrangements track the evolving structure.
+//!
+//! ```text
+//! cargo run --release --example incremental_learning
+//! ```
+
+use tahoe_repro::datasets::{DatasetSpec, Scale};
+use tahoe_repro::engine::Engine;
+use tahoe_repro::forest::train::gbdt::{self, GbdtParams};
+use tahoe_repro::forest::train::TrainParams;
+use tahoe_repro::gpu::device::DeviceSpec;
+
+fn main() {
+    let spec = DatasetSpec::by_name("susy").expect("susy is a Table 2 dataset");
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+
+    // Initial model: a small boosted forest.
+    let small = GbdtParams {
+        base: TrainParams {
+            n_trees: 10,
+            max_depth: 6,
+            ..TrainParams::default()
+        },
+        ..GbdtParams::default()
+    };
+    let forest_v1 = gbdt::train(&small, &train, spec.task);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_v100(), forest_v1);
+    let r1 = engine.infer(&infer.samples);
+    println!(
+        "v1: {} trees, strategy '{}', {:.2} samples/us, conversion {:.2} ms",
+        engine.forest().n_trees(),
+        r1.strategy,
+        r1.run.throughput_samples_per_us(),
+        engine.conversion().total_ns() as f64 / 1e6,
+    );
+
+    // More data arrives; the model grows. In a production system the update
+    // comes from the training service — here we retrain with more rounds.
+    let bigger = GbdtParams {
+        base: TrainParams {
+            n_trees: 40,
+            max_depth: 6,
+            ..TrainParams::default()
+        },
+        ..GbdtParams::default()
+    };
+    let forest_v2 = gbdt::train(&bigger, &train, spec.task);
+
+    // The engine update re-counts edge probabilities on fresh samples
+    // (Algorithm 1, line 16) and rebuilds the adaptive format.
+    engine.update_forest(forest_v2, Some(&infer.samples));
+    let r2 = engine.infer(&infer.samples);
+    println!(
+        "v2: {} trees, strategy '{}', {:.2} samples/us, re-conversion {:.2} ms",
+        engine.forest().n_trees(),
+        r2.strategy,
+        r2.run.throughput_samples_per_us(),
+        engine.conversion().total_ns() as f64 / 1e6,
+    );
+
+    // Predictions always match a fresh CPU reference on the current forest.
+    let reference = tahoe_repro::forest::predict_dataset(engine.forest(), &infer.samples);
+    let max_err = r2
+        .predictions
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("max |engine - reference| after update: {max_err:.2e}");
+    assert!(max_err < 1e-3);
+}

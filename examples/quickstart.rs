@@ -1,0 +1,73 @@
+//! Quickstart: train a forest, build a Tahoe engine, run a batch.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tahoe_repro::datasets::{DatasetSpec, Scale};
+use tahoe_repro::engine::Engine;
+use tahoe_repro::forest::train_for_spec;
+use tahoe_repro::gpu::device::DeviceSpec;
+
+fn main() {
+    // 1. A synthetic dataset shaped like the paper's SUSY (Table 2).
+    let spec = DatasetSpec::by_name("susy").expect("susy is a Table 2 dataset");
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    println!(
+        "dataset {}: {} train / {} inference samples, {} attributes",
+        spec.name,
+        train.len(),
+        infer.len(),
+        spec.n_attributes
+    );
+
+    // 2. Train the ensemble the paper would train with XGBoost.
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let stats = forest.stats();
+    println!(
+        "forest: {} trees, avg depth {:.1}, {} nodes",
+        stats.n_trees, stats.avg_depth, stats.total_nodes
+    );
+
+    // 3. Build the Tahoe engine: offline microbenchmarks, node + tree
+    //    rearrangement, adaptive format conversion (Algorithm 1).
+    let mut tahoe = Engine::tahoe(DeviceSpec::tesla_p100(), forest.clone());
+    println!(
+        "conversion: {:.2} ms on the CPU ({} B adaptive image)",
+        tahoe.conversion().total_ns() as f64 / 1e6,
+        tahoe.device_forest().image_bytes()
+    );
+
+    // 4. Infer a high-parallelism batch (the inference split tiled to 30 K
+    //    samples, as the paper's 100 K-batch regime); the performance models
+    //    pick the strategy.
+    let batch_idx: Vec<usize> = (0..30_000).map(|i| i % infer.len()).collect();
+    let batch = infer.samples.select(&batch_idx);
+    let result = tahoe.infer(&batch);
+    println!(
+        "tahoe: strategy '{}', {:.1} us simulated, {:.2} samples/us",
+        result.strategy,
+        result.run.kernel.total_ns / 1e3,
+        result.run.throughput_samples_per_us()
+    );
+
+    // 5. Compare with the FIL baseline on the same forest and batch.
+    let mut fil = Engine::fil(DeviceSpec::tesla_p100(), forest);
+    let baseline = fil.infer(&batch);
+    println!(
+        "fil:   strategy '{}', {:.1} us simulated, {:.2} samples/us",
+        baseline.strategy,
+        baseline.run.kernel.total_ns / 1e3,
+        baseline.run.throughput_samples_per_us()
+    );
+    println!(
+        "speedup: {:.2}x; predictions agree: {}",
+        baseline.run.kernel.total_ns / result.run.kernel.total_ns,
+        result
+            .predictions
+            .iter()
+            .zip(&baseline.predictions)
+            .all(|(a, b)| (a - b).abs() < 1e-4)
+    );
+}

@@ -1,0 +1,68 @@
+//! Online serving: replay a request stream against the engine under two
+//! batching policies (the paper's §1 motivation — notification-ranking style
+//! serving — meets Fig. 6's batch-size trade-off).
+//!
+//! ```text
+//! cargo run --release --example serving_simulation [dataset] [interarrival_ns]
+//! ```
+
+use tahoe_repro::datasets::{DatasetSpec, Scale};
+use tahoe_repro::engine::{Engine, EngineOptions};
+use tahoe_repro::engine::serving::{BatchingPolicy, ServingSim};
+use tahoe_repro::forest::train_for_spec;
+use tahoe_repro::gpu::device::DeviceSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "susy".to_string());
+    let interarrival: f64 = args
+        .next()
+        .map(|v| v.parse().expect("interarrival must be a number (ns)"))
+        .unwrap_or(150.0);
+    let Some(spec) = DatasetSpec::by_name(&name) else {
+        eprintln!("unknown dataset '{name}'");
+        std::process::exit(2);
+    };
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let options = EngineOptions {
+        functional: false,
+        ..EngineOptions::tahoe()
+    };
+    let mut engine = Engine::new(DeviceSpec::tesla_v100(), forest, options);
+
+    let n_requests = 20_000;
+    println!(
+        "{name}: {n_requests} requests, one every {interarrival:.0} ns, V100\n"
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "policy", "batches", "avg batch", "p50 (us)", "p99 (us)", "mean (us)", "req/us"
+    );
+    for (label, policy) in [
+        ("low latency", BatchingPolicy::low_latency()),
+        ("high throughput", BatchingPolicy::high_throughput()),
+    ] {
+        let mut sim = ServingSim::new(&mut engine, policy);
+        let report = sim.run_uniform_trace(&infer.samples, n_requests, interarrival);
+        println!(
+            "{:<16} {:>9} {:>9.0} {:>11.1} {:>11.1} {:>11.1} {:>12.2}",
+            label,
+            report.batches.len(),
+            report.mean_batch_size(),
+            report.latency_percentile_ns(0.5) / 1e3,
+            report.latency_percentile_ns(0.99) / 1e3,
+            report.mean_latency_ns() / 1e3,
+            report.throughput_per_us(),
+        );
+        let strategies: std::collections::BTreeSet<&str> =
+            report.batches.iter().map(|b| b.strategy.name()).collect();
+        println!("                 strategies used: {strategies:?}");
+    }
+    println!(
+        "\nthe latency policy dispatches small batches (where shared data wins);\n\
+         the throughput policy builds Fig. 6-sized batches (where the\n\
+         shared-memory strategies take over)"
+    );
+}

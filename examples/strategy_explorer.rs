@@ -1,0 +1,72 @@
+//! Strategy explorer: run all four inference strategies on one dataset and
+//! compare the performance models' predictions against the simulator
+//! (paper §5 + §6).
+//!
+//! ```text
+//! cargo run --release --example strategy_explorer [dataset] [batch]
+//! ```
+
+use tahoe_repro::datasets::{DatasetSpec, Scale};
+use tahoe_repro::engine::{Engine, EngineOptions};
+use tahoe_repro::engine::strategy::Strategy;
+use tahoe_repro::forest::train_for_spec;
+use tahoe_repro::gpu::device::DeviceSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "letter".to_string());
+    let batch_size: usize = args
+        .next()
+        .map(|b| b.parse().expect("batch must be a number"))
+        .unwrap_or(2_000);
+    let Some(spec) = DatasetSpec::by_name(&name) else {
+        eprintln!("unknown dataset '{name}'; pick a Table 2 name, e.g. higgs");
+        std::process::exit(2);
+    };
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let keep: Vec<usize> = (0..batch_size.min(infer.len())).collect();
+    let batch = infer.samples.select(&keep);
+
+    let mut engine = Engine::new(
+        DeviceSpec::tesla_p100(),
+        forest,
+        EngineOptions::tahoe(),
+    );
+    println!(
+        "{name}: {} trees, batch {}, P100\n",
+        engine.forest().n_trees(),
+        batch.n_samples()
+    );
+    println!(
+        "{:<26} {:>14} {:>14} {:>10}",
+        "strategy", "model (ns/sample)", "sim (ns/sample)", "samples/us"
+    );
+    let choice = engine.infer(&batch);
+    for prediction in &choice.ranked.clone() {
+        let s = prediction.strategy;
+        if !engine.feasible(s, &batch) {
+            continue;
+        }
+        let run = engine.infer_with(&batch, Some(s));
+        println!(
+            "{:<26} {:>14.1} {:>14.1} {:>10.3}",
+            s.name(),
+            prediction.total(),
+            run.run.ns_per_sample(),
+            run.run.throughput_samples_per_us()
+        );
+    }
+    println!(
+        "\nmodel selected '{}'; infeasible strategies are skipped entirely",
+        choice.strategy
+    );
+    if !engine.feasible(Strategy::SharedForest, &batch) {
+        println!(
+            "(shared forest does not fit: forest needs {} B of the {} B shared memory)",
+            engine.device_forest().forest_smem_bytes(),
+            engine.device().shared_mem_per_block
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! `tahoe` — command-line front end for the Tahoe reproduction.
+//!
+//! ```text
+//! tahoe train   --data <name|file.csv> [--scale ci] [--trees N] [--depth D]
+//!               [--kind gbdt|rf] --model model.json
+//! tahoe infer   --model model.json --data <name|file.csv> [--device p100]
+//!               [--strategy auto|shared-data|direct|shared-forest|splitting]
+//!               [--batch N] [--out predictions.csv]
+//! tahoe bench   --model model.json --data <name|file.csv> [--device p100]
+//! tahoe inspect --model model.json
+//! ```
+//!
+//! `--data` accepts either a Table 2 dataset name (synthetic generation) or a
+//! path to a CSV file (label in the last column; `?`/`NA`/empty = missing).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tahoe_repro::datasets::{
+    self, Dataset, DatasetSpec, Scale, Task,
+};
+use tahoe_repro::engine::engine::{Engine, EngineOptions};
+use tahoe_repro::engine::strategy::Strategy;
+use tahoe_repro::forest::train::gbdt::{self, GbdtParams};
+use tahoe_repro::forest::train::random_forest::{self, RandomForestParams};
+use tahoe_repro::forest::train::TrainParams;
+use tahoe_repro::forest::{io as forest_io, Forest};
+use tahoe_repro::gpu::device::DeviceSpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage("missing command");
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(&flags),
+        "infer" => cmd_infer(&flags),
+        "bench" => cmd_bench(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "--help" | "-h" | "help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+tahoe — tree structure-aware inference engine (EuroSys '21 reproduction)
+
+commands:
+  train    train a forest on a dataset and save it as JSON
+  infer    run inference with the Tahoe engine on a simulated GPU
+  bench    compare all four inference strategies on a dataset
+  inspect  print a saved forest's structure summary
+
+common flags:
+  --data <name|file.csv>   Table 2 dataset name or CSV path (label last)
+  --model <file.json>      forest model file
+  --device <k80|p100|v100> simulated GPU (default p100)
+  --scale <paper|ci|smoke> synthetic dataset scale (default ci)
+  --trees N --depth D      training hyperparameter overrides
+  --kind <gbdt|rf>         ensemble type for CSV training (default gbdt)
+  --task <class|reg>       CSV label type (default class)
+  --strategy <s>           auto|shared-data|direct|shared-forest|splitting
+  --batch N                inference batch size (default: whole dataset)
+  --out <file>             write predictions as CSV
+  --prune EPS              collapse near-constant subtrees after training
+";
+
+/// Parsed `--flag value` pairs.
+struct Flags {
+    data: Option<String>,
+    model: Option<PathBuf>,
+    device: Option<String>,
+    scale: Scale,
+    trees: Option<usize>,
+    depth: Option<usize>,
+    kind: Option<String>,
+    task: Option<String>,
+    strategy: Option<String>,
+    batch: Option<usize>,
+    out: Option<PathBuf>,
+    prune: Option<f32>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut f = Flags {
+            data: None,
+            model: None,
+            device: None,
+            scale: Scale::Ci,
+            trees: None,
+            depth: None,
+            kind: None,
+            task: None,
+            strategy: None,
+            batch: None,
+            out: None,
+            prune: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--data" => f.data = Some(value()?),
+                "--model" => f.model = Some(PathBuf::from(value()?)),
+                "--device" => f.device = Some(value()?),
+                "--scale" => {
+                    let v = value()?;
+                    f.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+                }
+                "--trees" => f.trees = Some(parse_num(&value()?, "--trees")?),
+                "--depth" => f.depth = Some(parse_num(&value()?, "--depth")?),
+                "--kind" => f.kind = Some(value()?),
+                "--task" => f.task = Some(value()?),
+                "--strategy" => f.strategy = Some(value()?),
+                "--batch" => f.batch = Some(parse_num(&value()?, "--batch")?),
+                "--out" => f.out = Some(PathBuf::from(value()?)),
+                "--prune" => {
+                    let v = value()?;
+                    let eps: f32 = v
+                        .parse()
+                        .map_err(|_| format!("bad tolerance '{v}' for --prune"))?;
+                    if !(eps.is_finite() && eps >= 0.0) {
+                        return Err(format!("--prune must be finite and >= 0, got {v}"));
+                    }
+                    f.prune = Some(eps);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(f)
+    }
+
+    fn device(&self) -> Result<DeviceSpec, String> {
+        match self.device.as_deref().unwrap_or("p100") {
+            "k80" => Ok(DeviceSpec::tesla_k80()),
+            "p100" => Ok(DeviceSpec::tesla_p100()),
+            "v100" => Ok(DeviceSpec::tesla_v100()),
+            other => Err(format!("unknown device '{other}' (k80|p100|v100)")),
+        }
+    }
+
+    fn strategy(&self) -> Result<Option<Strategy>, String> {
+        match self.strategy.as_deref() {
+            None | Some("auto") => Ok(None),
+            Some("shared-data") => Ok(Some(Strategy::SharedData)),
+            Some("direct") => Ok(Some(Strategy::Direct)),
+            Some("shared-forest") => Ok(Some(Strategy::SharedForest)),
+            Some("splitting") => Ok(Some(Strategy::SplittingSharedForest)),
+            Some(other) => Err(format!("unknown strategy '{other}'")),
+        }
+    }
+}
+
+fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("bad number '{v}' for {flag}"))
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    eprint!("{HELP}");
+    ExitCode::from(2)
+}
+
+/// Loads `--data`: a Table 2 name (synthetic) or a CSV path.
+fn load_data(flags: &Flags) -> Result<(Dataset, Option<DatasetSpec>), String> {
+    let spec_or_path = flags.data.as_deref().ok_or("missing --data")?;
+    if let Some(spec) = DatasetSpec::by_name(spec_or_path) {
+        let data = spec.generate(flags.scale);
+        return Ok((data, Some(spec)));
+    }
+    let path = Path::new(spec_or_path);
+    if !path.exists() {
+        return Err(format!(
+            "'{spec_or_path}' is neither a Table 2 dataset name nor an existing file"
+        ));
+    }
+    let data = datasets::load_csv(path, &datasets::CsvOptions::default())
+        .map_err(|e| format!("loading {spec_or_path}: {e}"))?;
+    Ok((data, None))
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let model_path = flags.model.as_deref().ok_or("missing --model")?;
+    let (data, spec) = load_data(flags)?;
+    let (train, _) = data.split_train_infer();
+    let forest = match &spec {
+        Some(spec) => {
+            // Synthetic dataset: Table 2 hyperparameters with overrides.
+            let mut spec = spec.clone();
+            if let Some(t) = flags.trees {
+                spec.n_trees = t;
+            }
+            if let Some(d) = flags.depth {
+                spec.max_depth = d;
+            }
+            tahoe_repro::forest::train_for_spec(&spec, &train, flags.scale)
+        }
+        None => train_csv_forest(flags, &train)?,
+    };
+    let forest = match flags.prune {
+        Some(eps) => {
+            let pruned = tahoe_repro::forest::prune_forest(&forest, eps);
+            println!(
+                "pruned {} -> {} nodes (tolerance {eps})",
+                forest.stats().total_nodes,
+                pruned.stats().total_nodes
+            );
+            pruned
+        }
+        None => forest,
+    };
+    forest_io::save_forest(&forest, model_path).map_err(|e| e.to_string())?;
+    let stats = forest.stats();
+    println!(
+        "trained {} trees (avg depth {:.1}, {} nodes) on {} samples -> {}",
+        stats.n_trees,
+        stats.avg_depth,
+        stats.total_nodes,
+        train.len(),
+        model_path.display()
+    );
+    Ok(())
+}
+
+/// Trains on CSV data with CLI hyperparameters.
+fn train_csv_forest(flags: &Flags, train: &Dataset) -> Result<Forest, String> {
+    let task = match flags.task.as_deref().unwrap_or("class") {
+        "class" => Task::BinaryClassification,
+        "reg" => Task::Regression,
+        other => return Err(format!("unknown task '{other}' (class|reg)")),
+    };
+    let base = TrainParams {
+        n_trees: flags.trees.unwrap_or(100),
+        max_depth: flags.depth.unwrap_or(6),
+        ..TrainParams::default()
+    };
+    match flags.kind.as_deref().unwrap_or("gbdt") {
+        "gbdt" => Ok(gbdt::train(
+            &GbdtParams {
+                base,
+                ..GbdtParams::default()
+            },
+            train,
+            task,
+        )),
+        "rf" => Ok(random_forest::train(&RandomForestParams { base }, train, task)),
+        other => Err(format!("unknown kind '{other}' (gbdt|rf)")),
+    }
+}
+
+/// Loads the model and checks it against the data's attribute count.
+fn load_model(flags: &Flags, data: &Dataset) -> Result<Forest, String> {
+    let path = flags.model.as_deref().ok_or("missing --model")?;
+    let forest = forest_io::load_forest(path).map_err(|e| e.to_string())?;
+    if forest.n_attributes() as usize != data.samples.n_attributes() {
+        return Err(format!(
+            "model expects {} attributes, data has {}",
+            forest.n_attributes(),
+            data.samples.n_attributes()
+        ));
+    }
+    Ok(forest)
+}
+
+fn batch_samples(flags: &Flags, data: &Dataset) -> tahoe_repro::datasets::SampleMatrix {
+    let (_, infer) = data.split_train_infer();
+    let n = flags.batch.unwrap_or(infer.len()).max(1);
+    let idx: Vec<usize> = (0..n).map(|i| i % infer.len().max(1)).collect();
+    infer.samples.select(&idx)
+}
+
+fn cmd_infer(flags: &Flags) -> Result<(), String> {
+    let (data, _) = load_data(flags)?;
+    let forest = load_model(flags, &data)?;
+    let device = flags.device()?;
+    let force = flags.strategy()?;
+    let batch = batch_samples(flags, &data);
+    let mut engine = Engine::new(device, forest, EngineOptions::tahoe());
+    if let Some(s) = force {
+        if !engine.feasible(s, &batch) {
+            return Err(format!("strategy '{s}' is infeasible for this forest/device"));
+        }
+    }
+    let result = engine.infer_with(&batch, force);
+    println!(
+        "device {}  strategy '{}'  batch {}  simulated {:.1} us  {:.2} samples/us",
+        engine.device().name,
+        result.strategy,
+        batch.n_samples(),
+        result.run.kernel.total_ns / 1e3,
+        result.run.throughput_samples_per_us()
+    );
+    if let Some(out) = &flags.out {
+        let mut text = String::with_capacity(result.predictions.len() * 12);
+        for p in &result.predictions {
+            text.push_str(&format!("{p}\n"));
+        }
+        std::fs::write(out, text).map_err(|e| e.to_string())?;
+        println!("wrote {} predictions to {}", result.predictions.len(), out.display());
+    }
+    Ok(())
+}
+
+fn cmd_bench(flags: &Flags) -> Result<(), String> {
+    let (data, _) = load_data(flags)?;
+    let forest = load_model(flags, &data)?;
+    let device = flags.device()?;
+    let batch = batch_samples(flags, &data);
+    let mut engine = Engine::new(
+        device,
+        forest,
+        EngineOptions {
+            functional: false,
+            ..EngineOptions::tahoe()
+        },
+    );
+    println!("{:<26} {:>14} {:>12}", "strategy", "ns/sample", "samples/us");
+    for s in Strategy::ALL {
+        if !engine.feasible(s, &batch) {
+            println!("{:<26} {:>14} {:>12}", s.name(), "-", "-");
+            continue;
+        }
+        let run = engine.infer_with(&batch, Some(s));
+        println!(
+            "{:<26} {:>14.1} {:>12.3}",
+            s.name(),
+            run.run.ns_per_sample(),
+            run.run.throughput_samples_per_us()
+        );
+    }
+    let auto = engine.infer(&batch);
+    println!("model selects: {}", auto.strategy);
+    Ok(())
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<(), String> {
+    let path = flags.model.as_deref().ok_or("missing --model")?;
+    let forest = forest_io::load_forest(path).map_err(|e| e.to_string())?;
+    let stats = forest.stats();
+    println!("model: {}", path.display());
+    println!("  kind:           {:?}", forest.kind());
+    println!("  task:           {:?}", forest.task());
+    println!("  trees:          {}", stats.n_trees);
+    println!("  attributes:     {}", stats.n_attributes);
+    println!("  total nodes:    {}", stats.total_nodes);
+    println!("  max depth:      {}", stats.max_depth);
+    println!("  avg depth:      {:.2}", stats.avg_depth);
+    println!("  avg nodes/tree: {:.1}", stats.avg_nodes_per_tree());
+    let depths: Vec<usize> = forest
+        .trees()
+        .iter()
+        .map(tahoe_repro::forest::Tree::depth)
+        .collect();
+    let min = depths.iter().min().copied().unwrap_or(0);
+    let max = depths.iter().max().copied().unwrap_or(0);
+    println!("  depth range:    {min}..{max}");
+    Ok(())
+}

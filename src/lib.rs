@@ -1,0 +1,15 @@
+//! Umbrella crate for the Tahoe (EuroSys '21) reproduction.
+//!
+//! Re-exports the four workspace crates so examples and integration tests can
+//! use a single dependency:
+//!
+//! - [`datasets`] — synthetic datasets matching the paper's Table 2 shapes.
+//! - [`forest`] — GBDT / random-forest training substrate (replaces XGBoost).
+//! - [`gpu`] — the trace-driven GPU execution simulator substrate.
+//! - [`engine`] — the Tahoe engine itself: adaptive forest format, SimHash/LSH
+//!   tree rearrangement, four inference strategies, performance models.
+
+pub use tahoe as engine;
+pub use tahoe_datasets as datasets;
+pub use tahoe_forest as forest;
+pub use tahoe_gpu_sim as gpu;

@@ -1,0 +1,132 @@
+//! End-to-end integration tests: the full pipeline (synthetic data →
+//! training → rearrangement → device format → simulated inference) must
+//! produce predictions identical to the CPU reference, on every dataset
+//! family and device generation.
+
+use tahoe_repro::datasets::{DatasetSpec, Scale};
+use tahoe_repro::engine::engine::{Engine, EngineOptions};
+use tahoe_repro::engine::strategy::Strategy;
+use tahoe_repro::forest::{predict_dataset, train_for_spec};
+use tahoe_repro::gpu::device::DeviceSpec;
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// One dataset per generator family covers every data path.
+const FAMILY_REPRESENTATIVES: [&str; 4] = ["susy", "cifar10", "letter", "year"];
+
+#[test]
+fn predictions_match_reference_across_families_and_devices() {
+    for name in FAMILY_REPRESENTATIVES {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let reference = predict_dataset(&forest, &infer.samples);
+        for device in DeviceSpec::paper_devices() {
+            let mut engine = Engine::tahoe(device, forest.clone());
+            let result = engine.infer(&infer.samples);
+            let err = max_abs_diff(&result.predictions, &reference);
+            assert!(err < 1e-3, "{name} on {}: max error {err}", engine.device().name);
+        }
+    }
+}
+
+#[test]
+fn every_feasible_strategy_agrees_with_reference() {
+    let spec = DatasetSpec::by_name("letter").unwrap();
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let reference = predict_dataset(&forest, &infer.samples);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_v100(), forest);
+    for s in Strategy::ALL {
+        if !engine.feasible(s, &infer.samples) {
+            continue;
+        }
+        let result = engine.infer_with(&infer.samples, Some(s));
+        let err = max_abs_diff(&result.predictions, &reference);
+        assert!(err < 1e-3, "{s}: max error {err}");
+    }
+}
+
+#[test]
+fn fil_and_tahoe_predictions_agree_everywhere() {
+    for name in FAMILY_REPRESENTATIVES {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let mut fil = Engine::fil(DeviceSpec::tesla_p100(), forest.clone());
+        let mut tahoe = Engine::tahoe(DeviceSpec::tesla_p100(), forest);
+        let a = fil.infer(&infer.samples);
+        let b = tahoe.infer(&infer.samples);
+        let err = max_abs_diff(&a.predictions, &b.predictions);
+        assert!(err < 1e-3, "{name}: FIL vs Tahoe max error {err}");
+    }
+}
+
+#[test]
+fn incremental_learning_roundtrip() {
+    let spec = DatasetSpec::by_name("phishing").unwrap();
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_p100(), forest.clone());
+    let _ = engine.infer(&infer.samples);
+    // Update with a truncated forest (model shrank), recounting probabilities
+    // on the inference stream.
+    let smaller = forest.truncated(forest.n_trees() / 2);
+    engine.update_forest(smaller.clone(), Some(&infer.samples));
+    let result = engine.infer(&infer.samples);
+    let reference = predict_dataset(engine.forest(), &infer.samples);
+    let err = max_abs_diff(&result.predictions, &reference);
+    assert!(err < 1e-3, "after update: max error {err}");
+    assert_eq!(engine.forest().n_trees(), smaller.n_trees());
+}
+
+#[test]
+fn partial_technique_engines_preserve_predictions() {
+    // Every Fig. 8 configuration (subsets of the three techniques) must be
+    // functionally identical.
+    let spec = DatasetSpec::by_name("ijcnn1").unwrap();
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let reference = predict_dataset(&forest, &infer.samples);
+    for (node, tree, select) in [
+        (true, false, false),
+        (false, true, false),
+        (true, true, false),
+        (true, true, true),
+    ] {
+        let options = EngineOptions {
+            node_rearrange: node,
+            tree_rearrange: tree,
+            model_selection: select,
+            ..EngineOptions::tahoe()
+        };
+        let mut engine = Engine::new(DeviceSpec::tesla_k80(), forest.clone(), options);
+        let result = engine.infer(&infer.samples);
+        let err = max_abs_diff(&result.predictions, &reference);
+        assert!(err < 1e-3, "config ({node},{tree},{select}): max error {err}");
+    }
+}
+
+#[test]
+fn missing_values_flow_through_the_whole_pipeline() {
+    // cup98 injects 5 % NaNs; default-direction routing must survive
+    // training, format conversion, and simulated traversal.
+    let spec = DatasetSpec::by_name("cup98").unwrap();
+    let data = spec.generate(Scale::Smoke);
+    let (train, infer) = data.split_train_infer();
+    assert!(infer.samples.missing_fraction() > 0.01, "test needs missing values");
+    let forest = train_for_spec(&spec, &train, Scale::Smoke);
+    let reference = predict_dataset(&forest, &infer.samples);
+    let mut engine = Engine::tahoe(DeviceSpec::tesla_v100(), forest);
+    let result = engine.infer(&infer.samples);
+    let err = max_abs_diff(&result.predictions, &reference);
+    assert!(err < 1e-3, "max error {err}");
+    assert!(result.predictions.iter().all(|p| p.is_finite()));
+}

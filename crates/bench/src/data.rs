@@ -1,9 +1,11 @@
 //! Dataset/forest preparation with an on-disk forest cache.
 //!
 //! Training the 15 Table 2 forests dominates harness start-up, so trained
-//! forests are cached as JSON under `target/tahoe-forest-cache/` keyed by
-//! dataset and scale. Datasets themselves regenerate quickly and
-//! deterministically.
+//! forests are cached as JSON under `target/tahoe-forest-cache/`. Cache
+//! files are keyed by a fingerprint of the full dataset spec, the scale,
+//! and [`TRAINER_VERSION`], so any change to the spec parameters or the
+//! training pipeline makes stale entries miss instead of being silently
+//! reused. Datasets themselves regenerate quickly and deterministically.
 
 use std::fs;
 use std::path::PathBuf;
@@ -30,6 +32,24 @@ fn scale_tag(scale: Scale) -> &'static str {
     }
 }
 
+/// Bump this after any behavioral change to training or data generation:
+/// it is folded into the cache fingerprint, so old cache files miss and
+/// retrain instead of being reused with stale contents.
+pub const TRAINER_VERSION: u32 = 2;
+
+/// FNV-1a fingerprint of everything a cached forest depends on: the full
+/// dataset spec (every generator/trainer parameter via `Debug`), the scale,
+/// and the trainer version.
+fn cache_fingerprint(spec: &DatasetSpec, scale: Scale) -> u64 {
+    let key = format!("{spec:?}|{scale:?}|trainer-v{TRAINER_VERSION}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn cache_dir() -> PathBuf {
     let dir = std::env::var("TAHOE_FOREST_CACHE").map_or_else(
         |_| PathBuf::from("target/tahoe-forest-cache"),
@@ -48,7 +68,12 @@ fn cache_dir() -> PathBuf {
 pub fn prepare(spec: &DatasetSpec, scale: Scale) -> Prepared {
     let data = spec.generate(scale);
     let (train, infer) = data.split_train_infer();
-    let path = cache_dir().join(format!("{}-{}.json", spec.name, scale_tag(scale)));
+    let path = cache_dir().join(format!(
+        "{}-{}-{:016x}.json",
+        spec.name,
+        scale_tag(scale),
+        cache_fingerprint(spec, scale)
+    ));
     let forest = match io::load_forest(&path) {
         Ok(f) if f.n_trees() == spec.scaled_trees(scale) => f,
         _ => {
@@ -106,6 +131,33 @@ mod tests {
         assert_eq!(a.forest, b.forest);
         assert_eq!(a.forest.n_trees(), spec.scaled_trees(Scale::Smoke));
         assert!(!a.infer.is_empty());
+    }
+
+    #[test]
+    fn cache_fingerprint_keys_on_spec_scale_and_version() {
+        let a = DatasetSpec::by_name("letter").unwrap();
+        let b = DatasetSpec::by_name("higgs").unwrap();
+        assert_ne!(
+            cache_fingerprint(&a, Scale::Smoke),
+            cache_fingerprint(&b, Scale::Smoke)
+        );
+        assert_ne!(
+            cache_fingerprint(&a, Scale::Smoke),
+            cache_fingerprint(&a, Scale::Ci)
+        );
+        // A spec-parameter change (what the old n_trees-only check missed)
+        // re-keys the cache file.
+        let mut tweaked = a.clone();
+        tweaked.n_attributes += 1;
+        assert_ne!(
+            cache_fingerprint(&a, Scale::Smoke),
+            cache_fingerprint(&tweaked, Scale::Smoke)
+        );
+        // Deterministic across runs.
+        assert_eq!(
+            cache_fingerprint(&a, Scale::Smoke),
+            cache_fingerprint(&a, Scale::Smoke)
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use tahoe_gpu_sim::device::DeviceSpec;
 use crate::data::{batch_of, prepare, prepare_all, Prepared};
 use crate::env::Env;
 use crate::experiments::{tahoe_opts, HIGH_BATCH};
-use crate::report::{f3, write_json, Table};
+use crate::report::{f3, mib, write_json, Table};
 
 /// Throughput of each strategy on one dataset (samples/µs; `None` =
 /// infeasible).
@@ -23,6 +23,10 @@ pub struct StrategyRow {
     pub throughput: Vec<Option<f64>>,
     /// Winning strategy.
     pub winner: Strategy,
+    /// High-water simulated device-memory footprint over the sweep (bytes).
+    pub mem_high_water_bytes: u64,
+    /// Largest chunk split any strategy needed to fit DRAM (1 = unsplit).
+    pub max_chunks: usize,
 }
 
 /// Fig. 5 record.
@@ -43,6 +47,7 @@ pub fn strategy_row(env: &Env, p: &Prepared, batch_size: usize) -> StrategyRow {
     );
     let mut throughput = Vec::with_capacity(Strategy::ALL.len());
     let mut best: Option<(f64, Strategy)> = None;
+    let mut max_chunks = 1usize;
     for s in Strategy::ALL {
         if !engine.feasible(s, &batch) {
             throughput.push(None);
@@ -53,12 +58,15 @@ pub fn strategy_row(env: &Env, p: &Prepared, batch_size: usize) -> StrategyRow {
         if best.is_none_or(|(bt, _)| t > bt) {
             best = Some((t, s));
         }
+        max_chunks = max_chunks.max(r.chunks);
         throughput.push(Some(t));
     }
     StrategyRow {
         dataset: p.spec.name.to_string(),
         throughput,
         winner: best.expect("at least shared data ran").1,
+        mem_high_water_bytes: engine.memory().high_water_bytes(),
+        max_chunks,
     }
 }
 
@@ -77,7 +85,16 @@ pub fn run_fig5(env: &Env) -> Fig5Result {
 pub fn report_fig5(result: &Fig5Result) {
     let mut t = Table::new(
         "Fig 5 — strategy throughput (samples/us), batch 100K, P100",
-        &["dataset", "shared data", "direct", "shared forest", "splitting", "winner"],
+        &[
+            "dataset",
+            "shared data",
+            "direct",
+            "shared forest",
+            "splitting",
+            "winner",
+            "mem hw (MiB)",
+            "chunks",
+        ],
     );
     for row in &result.rows {
         let mut cells = vec![row.dataset.clone()];
@@ -85,6 +102,8 @@ pub fn report_fig5(result: &Fig5Result) {
             cells.push(v.map_or("-".to_string(), f3));
         }
         cells.push(row.winner.name().to_string());
+        cells.push(mib(row.mem_high_water_bytes));
+        cells.push(row.max_chunks.to_string());
         t.row(cells);
     }
     t.print();
@@ -106,6 +125,10 @@ pub struct Fig6Row {
     pub throughput: Vec<Option<f64>>,
     /// Winning strategy.
     pub winner: Strategy,
+    /// High-water simulated device-memory footprint (bytes).
+    pub mem_high_water_bytes: u64,
+    /// Largest chunk split any strategy needed (1 = unsplit).
+    pub max_chunks: usize,
 }
 
 /// Fig. 6 record.
@@ -133,6 +156,8 @@ pub fn run_fig6(env: &Env) -> Fig6Result {
                 batch,
                 throughput: row.throughput,
                 winner: row.winner,
+                mem_high_water_bytes: row.mem_high_water_bytes,
+                max_chunks: row.max_chunks,
             });
         }
     }
@@ -143,7 +168,16 @@ pub fn run_fig6(env: &Env) -> Fig6Result {
 pub fn report_fig6(result: &Fig6Result) {
     let mut t = Table::new(
         "Fig 6 — strategy throughput (samples/us) vs batch size, P100",
-        &["dataset", "batch", "shared data", "direct", "shared forest", "splitting", "winner"],
+        &[
+            "dataset",
+            "batch",
+            "shared data",
+            "direct",
+            "shared forest",
+            "splitting",
+            "winner",
+            "mem hw (MiB)",
+        ],
     );
     for row in &result.rows {
         let mut cells = vec![row.dataset.clone(), row.batch.to_string()];
@@ -151,6 +185,7 @@ pub fn report_fig6(result: &Fig6Result) {
             cells.push(v.map_or("-".to_string(), f3));
         }
         cells.push(row.winner.name().to_string());
+        cells.push(mib(row.mem_high_water_bytes));
         t.row(cells);
     }
     t.print();

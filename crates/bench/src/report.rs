@@ -90,6 +90,12 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+/// Formats a byte count in MiB with 2 decimals.
+#[must_use]
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
 /// Directory where experiment JSON records land.
 #[must_use]
 pub fn results_dir() -> PathBuf {

@@ -70,6 +70,9 @@ pub struct DeviceSpec {
     pub global_reduce_ns_per_block: f64,
     /// Fixed device-wide reduction overhead per invocation (ns).
     pub global_reduce_base_ns: f64,
+    /// Device DRAM capacity in bytes — bounds every simulated allocation
+    /// (see `memory::DeviceMemory::for_device`).
+    pub dram_bytes: u64,
 }
 
 impl DeviceSpec {
@@ -97,7 +100,8 @@ impl DeviceSpec {
             block_reduce_base_ns: 2_600.0,
             global_reduce_ns_per_block: 110.0,
             global_reduce_base_ns: 2_800.0,
-            }
+            dram_bytes: 12 << 30, // One GK210 die owns half the board's 24 GB.
+        }
     }
 
     /// Tesla P100, Pascal generation.
@@ -124,6 +128,7 @@ impl DeviceSpec {
             block_reduce_base_ns: 1_500.0,
             global_reduce_ns_per_block: 55.0,
             global_reduce_base_ns: 1_600.0,
+            dram_bytes: 16 << 30,
         }
     }
 
@@ -151,6 +156,7 @@ impl DeviceSpec {
             block_reduce_base_ns: 1_200.0,
             global_reduce_ns_per_block: 45.0,
             global_reduce_base_ns: 1_300.0,
+            dram_bytes: 16 << 30,
         }
     }
 
@@ -167,6 +173,7 @@ impl DeviceSpec {
         Self {
             name: "Infinite-SM",
             num_sms: 1_000_000,
+            dram_bytes: 1 << 40,
             ..Self::tesla_v100()
         }
     }
@@ -189,10 +196,23 @@ impl DeviceSpec {
     /// # Errors
     ///
     /// Returns `Err` when a structural parameter is degenerate (zero sizes,
-    /// shared memory per block exceeding per SM, non-positive rates).
+    /// shared memory per block exceeding per SM, non-positive rates,
+    /// negative fixed overheads, a block size that is not a whole number of
+    /// warps, or zero DRAM).
     pub fn validate(&self) -> Result<(), String> {
         if self.warp_size == 0 || self.num_sms == 0 {
             return Err(format!("{}: zero warp size or SM count", self.name));
+        }
+        if self.max_threads_per_block == 0
+            || !self.max_threads_per_block.is_multiple_of(self.warp_size)
+        {
+            return Err(format!(
+                "{}: max threads per block must be a positive multiple of the warp size",
+                self.name
+            ));
+        }
+        if self.dram_bytes == 0 {
+            return Err(format!("{}: zero DRAM capacity", self.name));
         }
         if self.shared_mem_per_block > self.shared_mem_per_sm {
             return Err(format!(
@@ -215,6 +235,11 @@ impl DeviceSpec {
         ];
         if positive.iter().any(|&v| v <= 0.0) {
             return Err(format!("{}: non-positive timing constant", self.name));
+        }
+        // Fixed overheads may be zero (an idealized device) but never
+        // negative — a negative base would let big launches go back in time.
+        if self.block_reduce_base_ns < 0.0 || self.global_reduce_base_ns < 0.0 {
+            return Err(format!("{}: negative reduction base overhead", self.name));
         }
         Ok(())
     }
@@ -255,6 +280,34 @@ mod tests {
         let mut d = DeviceSpec::tesla_k80();
         d.node_eval_ns = 0.0;
         assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_k80();
+        d.block_reduce_base_ns = -1.0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_k80();
+        d.global_reduce_base_ns = -0.5;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_k80();
+        d.max_threads_per_block = 1000; // Not a multiple of 32.
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_k80();
+        d.dram_bytes = 0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn zero_reduce_base_is_allowed() {
+        let mut d = DeviceSpec::tesla_v100();
+        d.block_reduce_base_ns = 0.0;
+        d.global_reduce_base_ns = 0.0;
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_devices_have_datasheet_dram() {
+        assert_eq!(DeviceSpec::tesla_k80().dram_bytes, 12 << 30);
+        assert_eq!(DeviceSpec::tesla_p100().dram_bytes, 16 << 30);
+        assert_eq!(DeviceSpec::tesla_v100().dram_bytes, 16 << 30);
+        assert!(DeviceSpec::infinite_sms().dram_bytes > 16 << 30);
     }
 
     #[test]

@@ -64,6 +64,6 @@ pub use block::{BlockResult, BlockSim};
 pub use coalesce::AccessStats;
 pub use device::{Arch, DeviceSpec};
 pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
-pub use memory::{DeviceMemory, GlobalBuffer};
+pub use memory::{DeviceMemory, GlobalBuffer, OomError, ALLOC_ALIGN};
 pub use microbench::{measure, MeasuredParams};
 pub use warp::{LevelStats, WarpResult, WarpSim};

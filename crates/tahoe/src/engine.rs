@@ -14,8 +14,8 @@ use tahoe_forest::probability::EdgeCounter;
 use tahoe_forest::{Forest, ForestStats};
 use tahoe_gpu_sim::device::DeviceSpec;
 use tahoe_gpu_sim::kernel::Detail;
-use tahoe_gpu_sim::memory::DeviceMemory;
-use tahoe_gpu_sim::{measure, MeasuredParams};
+use tahoe_gpu_sim::memory::{DeviceMemory, OomError, ALLOC_ALIGN, GLOBAL_BASE};
+use tahoe_gpu_sim::{measure, GlobalBuffer, MeasuredParams};
 
 use crate::format::{DeviceForest, FormatConfig, LayoutPlan};
 use crate::perfmodel::{ModelInputs, Prediction};
@@ -118,6 +118,13 @@ pub struct InferenceResult {
     pub inputs: ModelInputs,
     /// Host-side model-evaluation time (§7.4's "runtime overhead").
     pub model_eval_ns: u64,
+    /// Sequential chunks the batch was split into because its staging
+    /// buffer exceeded the remaining device DRAM (1 = ran unsplit).
+    pub chunks: usize,
+    /// Simulated device memory live after this batch (bytes).
+    pub mem_in_use_bytes: u64,
+    /// High-water in-use footprint over the engine's lifetime (bytes).
+    pub mem_high_water_bytes: u64,
 }
 
 /// A configured inference engine bound to one device and one forest.
@@ -129,6 +136,10 @@ pub struct Engine {
     stats: ForestStats,
     device_forest: DeviceForest,
     mem: DeviceMemory,
+    /// Live allocation holding the forest image; freed on reconversion.
+    forest_buf: Option<GlobalBuffer>,
+    /// Cached per-batch staging buffer, reused (or grown) across batches.
+    sample_buf: Option<GlobalBuffer>,
     conversion: ConversionReport,
     counter: Option<EdgeCounter>,
 }
@@ -143,6 +154,7 @@ impl Engine {
     pub fn new(device: DeviceSpec, forest: Forest, options: EngineOptions) -> Self {
         device.validate().expect("valid device spec");
         let hw = measure(&device);
+        let mem = DeviceMemory::for_device(&device);
         let mut engine = Self {
             stats: forest.stats(),
             device,
@@ -150,7 +162,9 @@ impl Engine {
             options,
             forest,
             device_forest: placeholder_device_forest(),
-            mem: DeviceMemory::new(),
+            mem,
+            forest_buf: None,
+            sample_buf: None,
             conversion: ConversionReport::default(),
             counter: None,
         };
@@ -208,7 +222,15 @@ impl Engine {
             mode: None,
         };
         let t0 = Instant::now();
-        self.device_forest = DeviceForest::build(&self.forest, &plan, config, &mut self.mem);
+        // Release the previous image before building the replacement —
+        // without this, every `update_forest`/`refresh_probabilities` cycle
+        // leaked a full forest image of simulated DRAM.
+        if let Some(old) = self.forest_buf.take() {
+            self.mem.free(old);
+        }
+        self.device_forest = DeviceForest::try_build(&self.forest, &plan, config, &mut self.mem)
+            .unwrap_or_else(|e| panic!("forest image exceeds device DRAM: {e}"));
+        self.forest_buf = Some(self.device_forest.buffer());
         report.convert_ns = t0.elapsed().as_nanos() as u64;
         self.stats = self.forest.stats();
         self.conversion = report;
@@ -225,9 +247,13 @@ impl Engine {
     }
 
     /// As [`Engine::infer`], optionally forcing a strategy (used by the
-    /// Fig. 5/6 strategy sweeps). Returns the fallback shared-data run when
-    /// a forced strategy is infeasible... no: forcing an infeasible strategy
-    /// panics, callers check feasibility via [`strategy::geometry`].
+    /// Fig. 5/6 strategy sweeps). Forcing an infeasible strategy panics;
+    /// callers check feasibility first via [`Engine::feasible`] or
+    /// [`strategy::geometry`].
+    ///
+    /// A batch whose staging buffer does not fit in the remaining device
+    /// DRAM is split into chunks inferred sequentially and merged;
+    /// [`InferenceResult::chunks`] reports how many.
     ///
     /// # Panics
     ///
@@ -244,9 +270,35 @@ impl Engine {
             self.forest.n_attributes(),
             "attribute count mismatch"
         );
-        let sample_buf = self
-            .mem
-            .alloc((samples.n_samples() * samples.n_attributes() * 4) as u64);
+        match self.ensure_sample_buf(sample_bytes(samples)) {
+            Ok(buf) => self.infer_batch(samples, force, buf),
+            Err(_) => self.infer_chunked(samples, force),
+        }
+    }
+
+    /// Secures a staging buffer of at least `bytes`, reusing the cached one
+    /// when it is large enough (the fix for the per-batch leak: the old code
+    /// bump-allocated a fresh buffer every call and never freed it).
+    fn ensure_sample_buf(&mut self, bytes: u64) -> Result<GlobalBuffer, OomError> {
+        if let Some(buf) = self.sample_buf {
+            if buf.bytes >= bytes {
+                return Ok(buf);
+            }
+            self.mem.free(buf);
+            self.sample_buf = None;
+        }
+        let buf = self.mem.try_alloc(bytes)?;
+        self.sample_buf = Some(buf);
+        Ok(buf)
+    }
+
+    /// One unsplit batch through model selection and the chosen strategy.
+    fn infer_batch(
+        &mut self,
+        samples: &SampleMatrix,
+        force: Option<Strategy>,
+        sample_buf: GlobalBuffer,
+    ) -> InferenceResult {
         let ctx = LaunchContext {
             device: &self.device,
             forest: &self.device_forest,
@@ -304,20 +356,82 @@ impl Engine {
             ranked,
             inputs,
             model_eval_ns,
+            chunks: 1,
+            mem_in_use_bytes: self.mem.in_use_bytes(),
+            mem_high_water_bytes: self.mem.high_water_bytes(),
         }
     }
 
+    /// Degraded-mode inference for a batch whose staging buffer exceeds the
+    /// remaining DRAM: split into the largest chunks that fit, infer them
+    /// sequentially (later chunks pinned to the first chunk's strategy so
+    /// the merged result is coherent), and merge predictions and simulated
+    /// kernel time.
+    fn infer_chunked(
+        &mut self,
+        samples: &SampleMatrix,
+        force: Option<Strategy>,
+    ) -> InferenceResult {
+        let bytes_per_sample = (samples.n_attributes() * 4) as u64;
+        // Largest chunk whose 256-byte-aligned span fits what is left
+        // (`ensure_sample_buf` already released any cached buffer when it
+        // failed, so `available_bytes` is exact).
+        let usable = self.mem.available_bytes() / ALLOC_ALIGN * ALLOC_ALIGN;
+        let max_samples = (usable / bytes_per_sample) as usize;
+        assert!(
+            max_samples > 0,
+            "device DRAM cannot hold even one sample alongside the forest image"
+        );
+        let n = samples.n_samples();
+        let mut merged: Option<InferenceResult> = None;
+        let mut chunks = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + max_samples).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let chunk = samples.select(&idx);
+            let buf = self
+                .ensure_sample_buf(sample_bytes(&chunk))
+                .expect("chunk was sized to fit the remaining DRAM");
+            let force_now = force.or_else(|| merged.as_ref().map(|m| m.strategy));
+            let r = self.infer_batch(&chunk, force_now, buf);
+            merged = Some(match merged {
+                None => r,
+                Some(m) => merge_chunk_results(m, r),
+            });
+            chunks += 1;
+            start = end;
+        }
+        let mut out = merged.expect("non-empty batch");
+        out.chunks = chunks;
+        out.mem_in_use_bytes = self.mem.in_use_bytes();
+        out.mem_high_water_bytes = self.mem.high_water_bytes();
+        out
+    }
+
     /// Whether a strategy is feasible for this engine's forest/device on a
-    /// given batch (shared-memory capacity checks).
+    /// given batch: launch-geometry (shared-memory) checks plus device
+    /// DRAM — the batch must be stageable *unsplit* next to the live forest
+    /// image.
     #[must_use]
     pub fn feasible(&self, strategy: Strategy, samples: &SampleMatrix) -> bool {
-        let mut scratch = DeviceMemory::new();
+        let needed = sample_bytes(samples);
+        // The cached staging buffer would be recycled for this batch, so its
+        // span counts as available.
+        let reusable = self.sample_buf.map_or(0, |b| aligned_span(b.bytes));
+        if aligned_span(needed) > self.mem.available_bytes().saturating_add(reusable) {
+            return false;
+        }
         let ctx = LaunchContext {
             device: &self.device,
             forest: &self.device_forest,
             samples,
-            sample_buf: scratch
-                .alloc((samples.n_samples() * samples.n_attributes() * 4) as u64),
+            // Geometry only inspects sizes, never dereferences — a
+            // phantom buffer avoids touching the real allocator.
+            sample_buf: GlobalBuffer {
+                base: GLOBAL_BASE,
+                bytes: needed,
+            },
             detail: Detail::Sampled(1),
             block_threads: THREADS_PER_BLOCK,
         };
@@ -375,6 +489,13 @@ impl Engine {
         &self.hw
     }
 
+    /// The engine's simulated device-memory heap (capacity, in-use and
+    /// high-water accounting).
+    #[must_use]
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
     /// The device-formatted forest.
     #[must_use]
     pub fn device_forest(&self) -> &DeviceForest {
@@ -398,6 +519,70 @@ impl Engine {
     pub fn options(&self) -> &EngineOptions {
         &self.options
     }
+}
+
+/// Bytes a batch's staging buffer needs (row-major f32).
+fn sample_bytes(samples: &SampleMatrix) -> u64 {
+    (samples.n_samples() * samples.n_attributes() * 4) as u64
+}
+
+/// The 256-byte-aligned span `bytes` occupies in simulated DRAM.
+fn aligned_span(bytes: u64) -> u64 {
+    bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN
+}
+
+/// Merges a later chunk's result into the accumulated one: predictions
+/// concatenate (chunks are consecutive sample ranges), host-side model time
+/// adds up, and the simulated runs merge as sequential launches. The
+/// ranking and model inputs of the first chunk are kept as representative.
+fn merge_chunk_results(mut acc: InferenceResult, next: InferenceResult) -> InferenceResult {
+    acc.predictions.extend(next.predictions);
+    acc.model_eval_ns += next.model_eval_ns;
+    acc.run = merge_runs(acc.run, next.run);
+    acc
+}
+
+/// Merges two sequential launches of the same strategy: additive totals,
+/// sample-count-weighted means, elementwise-summed memory statistics.
+fn merge_runs(mut acc: StrategyRun, next: StrategyRun) -> StrategyRun {
+    debug_assert_eq!(acc.strategy, next.strategy, "chunks pin one strategy");
+    acc.n_samples += next.n_samples;
+    let a = &mut acc.kernel;
+    let b = next.kernel;
+    let (wa, wb) = (a.sampled_blocks as f64, b.sampled_blocks as f64);
+    if wa + wb > 0.0 {
+        a.mean_block_wall_ns =
+            (a.mean_block_wall_ns * wa + b.mean_block_wall_ns * wb) / (wa + wb);
+        a.mean_block_critical_ns =
+            (a.mean_block_critical_ns * wa + b.mean_block_critical_ns * wb) / (wa + wb);
+    }
+    a.grid_blocks += b.grid_blocks;
+    a.sampled_blocks += b.sampled_blocks;
+    a.total_ns += b.total_ns;
+    a.block_reduction_wall_ns += b.block_reduction_wall_ns;
+    a.global_reduction_ns += b.global_reduction_ns;
+    a.max_block_wall_ns = a.max_block_wall_ns.max(b.max_block_wall_ns);
+    a.gmem.requested_bytes += b.gmem.requested_bytes;
+    a.gmem.fetched_bytes += b.gmem.fetched_bytes;
+    a.gmem.transactions += b.gmem.transactions;
+    a.gmem.steps += b.gmem.steps;
+    a.smem.requested_bytes += b.smem.requested_bytes;
+    a.smem.fetched_bytes += b.smem.fetched_bytes;
+    a.smem.transactions += b.smem.transactions;
+    a.smem.steps += b.smem.steps;
+    a.thread_busy_per_block.extend(b.thread_busy_per_block);
+    for (level, stats) in b.levels {
+        let entry = a.levels.entry(level).or_default();
+        entry.distance_sum += stats.distance_sum;
+        entry.distance_steps += stats.distance_steps;
+        entry.access.requested_bytes += stats.access.requested_bytes;
+        entry.access.fetched_bytes += stats.access.fetched_bytes;
+        entry.access.transactions += stats.access.transactions;
+        entry.access.steps += stats.access.steps;
+    }
+    a.steps += b.steps;
+    a.active_lane_steps += b.active_lane_steps;
+    acc
 }
 
 /// A 1-tree placeholder replaced by `convert()` during construction.

@@ -13,7 +13,7 @@ pub mod node;
 
 use tahoe_datasets::{ForestKind, SampleMatrix};
 use tahoe_forest::Forest;
-use tahoe_gpu_sim::memory::DeviceMemory;
+use tahoe_gpu_sim::memory::{DeviceMemory, OomError};
 use tahoe_gpu_sim::GlobalBuffer;
 
 pub use layout::{assign_slots, LayoutPlan, SlotMap, StorageMode};
@@ -80,7 +80,9 @@ impl DeviceForest {
     ///
     /// # Panics
     ///
-    /// Panics if the plan does not match the forest.
+    /// Panics if the plan does not match the forest, or if the image does
+    /// not fit in `mem` (capacity-aware callers use
+    /// [`DeviceForest::try_build`]).
     #[must_use]
     pub fn build(
         forest: &Forest,
@@ -88,6 +90,26 @@ impl DeviceForest {
         config: FormatConfig,
         mem: &mut DeviceMemory,
     ) -> Self {
+        Self::try_build(forest, plan, config, mem).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`DeviceForest::build`], but reports simulated device-memory
+    /// exhaustion instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the encoded image exceeds the remaining
+    /// DRAM capacity of `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match the forest.
+    pub fn try_build(
+        forest: &Forest,
+        plan: &LayoutPlan,
+        config: FormatConfig,
+        mem: &mut DeviceMemory,
+    ) -> Result<Self, OomError> {
         let stats = forest.stats();
         let attr_width = if config.varlen_attr {
             AttrWidth::minimal(forest.n_attributes().max(1))
@@ -153,8 +175,8 @@ impl DeviceForest {
         let roots: Vec<u32> = (0..forest.n_trees())
             .map(|layout_idx| map.slot_of[layout_idx][0])
             .collect();
-        let buffer = mem.alloc((map.n_slots * node_bytes) as u64);
-        Self {
+        let buffer = mem.try_alloc((map.n_slots * node_bytes) as u64)?;
+        Ok(Self {
             nodes,
             levels: map.levels,
             roots,
@@ -169,7 +191,14 @@ impl DeviceForest {
             base_score: forest.base_score(),
             tree_order: plan.tree_order.clone(),
             max_depth: stats.max_depth,
-        }
+        })
+    }
+
+    /// The simulated global-memory allocation holding the encoded image
+    /// (what an engine must `free` before dropping or replacing the forest).
+    #[must_use]
+    pub fn buffer(&self) -> GlobalBuffer {
+        self.buffer
     }
 
     /// Encodes the full device image (used for storage accounting and
@@ -500,6 +529,27 @@ mod tests {
             df.trees_smem_bytes(0, split) + df.trees_smem_bytes(split, df.n_trees()),
             df.forest_smem_bytes()
         );
+    }
+
+    #[test]
+    fn try_build_reports_oom_on_tiny_dram() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = train_for_spec(&spec, &data, Scale::Smoke);
+        let plan = LayoutPlan::identity(&forest);
+        let mut mem = DeviceMemory::with_capacity(256);
+        let err = DeviceForest::try_build(&forest, &plan, FormatConfig::adaptive(), &mut mem)
+            .unwrap_err();
+        assert_eq!(err.capacity_bytes, 256);
+        assert!(err.requested_bytes > 256);
+        // Nothing was left allocated by the failed build.
+        assert_eq!(mem.in_use_bytes(), 0);
+    }
+
+    #[test]
+    fn build_registers_its_buffer() {
+        let (_, df, _) = build_pair("letter");
+        assert_eq!(df.buffer().bytes as usize, df.image_bytes());
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub struct BatchRecord {
     pub gpu_ns: f64,
     /// Strategy the engine selected.
     pub strategy: Strategy,
+    /// Sequential chunks the batch was split into to fit device DRAM
+    /// (1 = ran unsplit).
+    pub chunks: usize,
+    /// Simulated device memory live after the batch (bytes).
+    pub mem_in_use_bytes: u64,
 }
 
 /// Aggregate serving statistics.
@@ -68,6 +73,8 @@ pub struct ServingReport {
     pub latencies_ns: Vec<f64>,
     /// Simulated end-to-end makespan (ns).
     pub makespan_ns: f64,
+    /// High-water simulated device-memory footprint over the trace (bytes).
+    pub mem_high_water_bytes: u64,
 }
 
 impl ServingReport {
@@ -110,6 +117,12 @@ impl ServingReport {
             return 0.0;
         }
         self.n_requests() as f64 / (self.makespan_ns / 1_000.0)
+    }
+
+    /// Batches that had to be chunk-split to fit device DRAM.
+    #[must_use]
+    pub fn split_batches(&self) -> usize {
+        self.batches.iter().filter(|b| b.chunks > 1).count()
     }
 
     /// Mean dispatched batch size.
@@ -168,10 +181,22 @@ impl<'e> ServingSim<'e> {
             let deadline = first_arrival + self.policy.max_delay_ns;
             let dispatch_at = full_at.min(deadline).max(first_arrival).max(gpu_free_at);
             // Everything that has arrived by the dispatch instant (capped at
-            // max_batch) rides this batch.
-            let arrived = ((dispatch_at / interarrival_ns).floor() as usize + 1)
-                .min(n_requests);
-            let last = arrived.min(first + self.policy.max_batch);
+            // max_batch) rides this batch. Float division alone can land one
+            // index low when `dispatch_at` sits exactly on an arrival
+            // instant (e.g. 3 × 0.1 / 0.1 < 3), so the quotient is corrected
+            // by multiplying back — request `i` has arrived iff
+            // `i * interarrival_ns <= dispatch_at`.
+            let mut last_arrived =
+                ((dispatch_at / interarrival_ns).floor() as usize).min(n_requests - 1);
+            while last_arrived + 1 < n_requests
+                && (last_arrived + 1) as f64 * interarrival_ns <= dispatch_at
+            {
+                last_arrived += 1;
+            }
+            while last_arrived > first && last_arrived as f64 * interarrival_ns > dispatch_at {
+                last_arrived -= 1;
+            }
+            let last = (last_arrived + 1).min(first + self.policy.max_batch);
             let size = last - first;
             let rows: Vec<usize> = (first..last).map(|r| r % n_payloads).collect();
             let batch = samples.select(&rows);
@@ -192,6 +217,8 @@ impl<'e> ServingSim<'e> {
                 dispatched_at_ns: dispatch_at,
                 gpu_ns,
                 strategy: result.strategy,
+                chunks: result.chunks,
+                mem_in_use_bytes: result.mem_in_use_bytes,
             });
             gpu_free_at = finished_at;
             next_request = last;
@@ -200,6 +227,7 @@ impl<'e> ServingSim<'e> {
             batches,
             latencies_ns: latencies,
             makespan_ns: gpu_free_at,
+            mem_high_water_bytes: self.engine.memory().high_water_bytes(),
         }
     }
 }
@@ -285,6 +313,38 @@ mod tests {
         assert!(thr.mean_batch_size() > lat.mean_batch_size());
         // Larger batches amortize better: fewer dispatches.
         assert!(thr.batches.len() < lat.batches.len());
+    }
+
+    #[test]
+    fn arrival_counting_is_robust_on_float_boundaries() {
+        // With max_batch == n_requests and a loose deadline, the dispatch
+        // instant is the last request's exact arrival time. Naive float
+        // division undercounts on some interarrivals (e.g. 7 × 0.7 / 0.7
+        // floors to 6) and would split the trace into two batches.
+        let (mut e, samples) = engine();
+        for &ia in &[0.1, 0.3, 0.7, 1.0, 333.3] {
+            let policy = BatchingPolicy {
+                max_batch: 8,
+                max_delay_ns: 1e12,
+            };
+            let mut sim = ServingSim::new(&mut e, policy);
+            let report = sim.run_uniform_trace(&samples, 8, ia);
+            assert_eq!(report.batches.len(), 1, "interarrival {ia} split the batch");
+            assert_eq!(report.batches[0].size, 8);
+        }
+    }
+
+    #[test]
+    fn serving_reports_memory_footprint() {
+        let (mut e, samples) = engine();
+        let mut sim = ServingSim::new(&mut e, BatchingPolicy::low_latency());
+        let report = sim.run_uniform_trace(&samples, 300, 500.0);
+        assert!(report.mem_high_water_bytes > 0);
+        assert_eq!(report.split_batches(), 0, "smoke batches fit DRAM unsplit");
+        for b in &report.batches {
+            assert_eq!(b.chunks, 1);
+            assert!(b.mem_in_use_bytes > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Repository verification gate: build, lint, test.
+#
+# Run from the repository root. Fails fast on the first broken step.
+# Clippy runs with -D warnings so lint regressions block merges.
+set -eu
+
+cargo build --workspace --release
+cargo clippy --workspace --all-targets --release -- -D warnings
+cargo test --workspace --release

@@ -1,0 +1,157 @@
+//! Offline stand-in for `bytes` (see `vendor/README.md`): the little-endian
+//! cursor subset of `Buf`/`BufMut` the node codec uses.
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Copies `dst.len()` bytes out and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        (**self).copy_to_slice(dst);
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt);
+    }
+}
+
+/// Append-only write sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Writes a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(513);
+        out.put_u32_le(70_000);
+        out.put_f32_le(1.5);
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 513);
+        assert_eq!(cursor.get_u32_le(), 70_000);
+        assert!((cursor.get_f32_le() - 1.5).abs() < 1e-9);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1];
+        let _ = cursor.get_u32_le();
+    }
+}

@@ -1,0 +1,565 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor architecture this stub uses a concrete JSON-like
+//! data model: `Serialize` renders a [`Value`], `Deserialize` reads one. The
+//! vendored `serde_derive` emits impls of these traits and `serde_json`
+//! parses/prints `Value`. The surface is exactly what this workspace uses;
+//! `#[serde(...)]` attributes and zero-copy deserialization are out of scope.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-style number, kept exact for integers (like `serde_json::Number`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Lossy conversion to `f64` (exact for integers below 2^53).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// The serialization data model (mirrors `serde_json::Value`).
+///
+/// Objects preserve insertion order, so serialized structs list fields in
+/// declaration order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object lookup (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(u)) => i64::try_from(*u).ok(),
+            Value::Number(Number::NegInt(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]`, yielding `Null` for non-objects/missing keys (as in
+    /// `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(u) => write!(f, "{u}"),
+            Number::NegInt(i) => write!(f, "{i}"),
+            // Rust's shortest-roundtrip Display; non-finite floats have no
+            // JSON representation and degrade to null (serde_json errors
+            // instead, but this stub keeps serialization infallible).
+            Number::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Number::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON (what `serde_json::to_string` would produce).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Deserialization error (stands in for `serde::de::Error` machinery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Free-form error.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Missing object field.
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` while reading {ty}"))
+    }
+
+    /// Unknown enum variant tag.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// Shape mismatch.
+    #[must_use]
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("invalid type: expected {expected}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Helpers referenced by derive-generated code. Not part of the public API.
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Looks up a struct field, reporting the owning type on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `v` is not an object or lacks `field`.
+    pub fn field<'a>(v: &'a Value, field: &str, ty: &str) -> Result<&'a Value, DeError> {
+        match v {
+            Value::Object(_) => v.get(field).ok_or_else(|| DeError::missing_field(field, ty)),
+            other => Err(DeError::invalid_type(ty, other)),
+        }
+    }
+}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reads `Self` back out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::invalid_type("bool", v))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::PosInt(u)) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::custom(format!("{u} out of range"))),
+                    other => Err(DeError::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = i64::from(*self);
+                if i >= 0 {
+                    Value::Number(Number::PosInt(i as u64))
+                } else {
+                    Value::Number(Number::NegInt(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), v))?;
+                <$t>::try_from(i).map_err(|_| DeError::custom(format!("{i} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        i64::from_value(v).and_then(|i| {
+            isize::try_from(i).map_err(|_| DeError::custom(format!("{i} out of range")))
+        })
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = f64::from(*self);
+                if x.is_finite() {
+                    Value::Number(Number::Float(x))
+                } else {
+                    // JSON has no NaN/Inf; mirror serde_json's lossy mode.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    // Integers appear whenever a float serialized without a
+                    // fractional part (e.g. 2.0 prints as "2").
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::invalid_type("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+/// Interns a string, leaking at most once per distinct value — supports
+/// `&'static str` fields (device and dataset names) deriving `Deserialize`.
+fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&leaked) = pool.get(s) {
+        return leaked;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(s.to_string(), leaked);
+    leaked
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(intern)
+            .ok_or_else(|| DeError::invalid_type("string", v))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::invalid_type("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::invalid_type("tuple", v))?;
+                const LEN: usize = [$($n),+].len();
+                if arr.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "tuple length {} != {LEN}", arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for v in [0u64, 1, u64::from(u32::MAX) + 7] {
+            assert_eq!(u64::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert_eq!(i32::from_value(&(-5i32).to_value()).unwrap(), -5);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        // A fraction-free float serializes like an integer and must come back.
+        assert_eq!(f64::from_value(&Value::Number(Number::PosInt(2))).unwrap(), 2.0);
+        assert!(f32::from_value(&f32::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn static_str_interning() {
+        let v = Value::String("Tesla P100".to_string());
+        let a = <&'static str>::from_value(&v).unwrap();
+        let b = <&'static str>::from_value(&v).unwrap();
+        assert_eq!(a, "Tesla P100");
+        assert!(std::ptr::eq(a, b), "second lookup must not re-leak");
+    }
+
+    #[test]
+    fn compact_display() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::PosInt(1))),
+            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(vec![]);
+        assert!(v["nope"].is_null());
+        assert!(Value::Null["x"].is_null());
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Emits impls of the vendored `serde` stub's value-model traits
+//! (`Serialize::to_value` / `Deserialize::from_value`). The parser walks the
+//! raw `proc_macro` token stream — no `syn`/`quote` — and supports exactly the
+//! shapes this workspace derives on:
+//!
+//! - non-generic structs with named fields,
+//! - enums whose variants are unit or have named fields.
+//!
+//! `#[serde(...)]` attributes are not supported (none exist in the
+//! workspace); encountering an unsupported shape is a compile error, not a
+//! silent misencode.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Named-field struct: (name, field names).
+    Struct(String, Vec<String>),
+    /// Enum: (name, variants); each variant is (name, field names) with an
+    /// empty field list meaning a unit variant.
+    Enum(String, Vec<(String, Vec<String>)>),
+}
+
+/// Skips attributes (`#[...]`, including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the field names out of a named-field brace group.
+fn parse_named_fields(group: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde stub derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected ':' after field, got {other:?}"),
+        }
+        // Skip the type: commas nested in <...> are not separators.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the variants out of an enum body brace group.
+fn parse_variants(group: &TokenStream) -> Vec<(String, Vec<String>)> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde stub derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push((name, parse_named_fields(&g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stub derive: tuple variant `{name}` is not supported");
+            }
+            _ => variants.push((name, Vec::new())),
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: &TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde stub derive: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde stub derive: generic item `{name}` is not supported");
+    }
+    let TokenTree::Group(body) = &tokens[i] else {
+        panic!("serde stub derive: `{name}` must have a brace body (tuple/unit items unsupported)");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "serde stub derive: `{name}` must have named fields"
+    );
+    match kind.as_str() {
+        "struct" => Item::Struct(name, parse_named_fields(&body.stream())),
+        "enum" => Item::Enum(name, parse_variants(&body.stream())),
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn object_literal(fields: &[String], access: &str) -> String {
+    let mut s = String::from("::serde::Value::Object(::std::vec![");
+    for f in fields {
+        s.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({access}{f})),"
+        ));
+    }
+    s.push_str("])");
+    s
+}
+
+fn header(name: &str, trait_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::{trait_name} for {name} "
+    )
+}
+
+/// Derives the stub `serde::Serialize` (`to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(&input) {
+        Item::Struct(name, fields) => {
+            out.push_str(&header(&name, "Serialize"));
+            out.push_str("{ fn to_value(&self) -> ::serde::Value { ");
+            out.push_str(&object_literal(&fields, "&self."));
+            out.push_str(" } }");
+        }
+        Item::Enum(name, variants) => {
+            out.push_str(&header(&name, "Serialize"));
+            out.push_str("{ fn to_value(&self) -> ::serde::Value { match self { ");
+            for (v, fields) in &variants {
+                if fields.is_empty() {
+                    out.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ));
+                } else {
+                    let binds = fields.join(", ");
+                    out.push_str(&format!(
+                        "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), {})]),",
+                        object_literal(fields, "")
+                    ));
+                }
+            }
+            out.push_str(" } } }");
+        }
+    }
+    out.parse().expect("serde stub derive: generated invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize` (`from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(&input) {
+        Item::Struct(name, fields) => {
+            out.push_str(&header(&name, "Deserialize"));
+            out.push_str(
+                "{ fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> { \
+                 ::std::result::Result::Ok(Self { ",
+            );
+            for f in &fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     ::serde::__private::field(v, \"{f}\", \"{name}\")?)?,"
+                ));
+            }
+            out.push_str(" }) } }");
+        }
+        Item::Enum(name, variants) => {
+            out.push_str(&header(&name, "Deserialize"));
+            out.push_str(
+                "{ fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> { match v { ",
+            );
+            let units: Vec<_> = variants.iter().filter(|(_, f)| f.is_empty()).collect();
+            let structs: Vec<_> = variants.iter().filter(|(_, f)| !f.is_empty()).collect();
+            if !units.is_empty() {
+                out.push_str("::serde::Value::String(s) => match s.as_str() { ");
+                for (v, _) in &units {
+                    out.push_str(&format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"));
+                }
+                out.push_str(&format!(
+                    "other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(other, \"{name}\")), }},"
+                ));
+            }
+            if !structs.is_empty() {
+                out.push_str(
+                    "::serde::Value::Object(entries) if entries.len() == 1 => { \
+                     let (tag, inner) = &entries[0]; match tag.as_str() { ",
+                );
+                for (v, fields) in &structs {
+                    out.push_str(&format!("\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ "));
+                    for f in fields.iter() {
+                        out.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::__private::field(inner, \"{f}\", \"{name}::{v}\")?)?,"
+                        ));
+                    }
+                    out.push_str(" }),");
+                }
+                out.push_str(&format!(
+                    "other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(other, \"{name}\")), }} }},"
+                ));
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(\
+                 ::serde::DeError::invalid_type(\"{name}\", other)), }} }} }}"
+            ));
+        }
+    }
+    out.parse().expect("serde stub derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,85 @@
+//! Host wall-clock benchmark of the parallel simulation pipeline.
+//!
+//! Times the Fig. 5 strategy sweep (all datasets × four strategies on P100)
+//! end-to-end twice — block simulation forced to a single worker, then with
+//! the default worker pool — and writes `results/BENCH_host_sim.json` so
+//! future performance work has a recorded baseline. Forest training/loading
+//! happens before the timed region; the sweep only exercises the simulator
+//! hot path this PR parallelized.
+//!
+//! The speedup is bounded by the host's core count (a 1-core CI box records
+//! ≈ 1×); the record includes the worker count so readers can interpret it.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use tahoe_bench::experiments::strategies::strategy_row;
+use tahoe_bench::experiments::HIGH_BATCH;
+use tahoe_bench::report::write_json;
+use tahoe_bench::{prepare_all, Env};
+use tahoe_gpu_sim::parallel::{set_sim_threads, sim_threads};
+
+/// `BENCH_host_sim.json` record.
+#[derive(Serialize)]
+struct HostSimBench {
+    /// Worker threads the parallel phase used.
+    workers: usize,
+    /// Host cores reported by the OS.
+    host_cores: usize,
+    /// Wall seconds of the sweep with 1 simulation worker.
+    sequential_s: f64,
+    /// Wall seconds of the sweep with the default worker pool.
+    parallel_s: f64,
+    /// `sequential_s / parallel_s`.
+    speedup: f64,
+    /// Datasets swept.
+    datasets: usize,
+    /// Scale the forests were trained at.
+    scale: String,
+    /// Sampled blocks per simulated kernel.
+    detail: String,
+}
+
+fn main() {
+    let env = Env::from_args();
+    let prepared = prepare_all(env.scale);
+    let sweep = |label: &str| {
+        let t0 = Instant::now();
+        for p in &prepared {
+            let _ = strategy_row(&env, p, HIGH_BATCH);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        println!("[host_perf] {label}: {secs:.2} s");
+        secs
+    };
+    // Untimed warm-up: the first sweep after process start pays one-time
+    // costs (page faults, batch materialization) that would otherwise be
+    // billed to whichever phase runs first. Each phase then reports the
+    // faster of two repetitions to shed one-sided scheduler noise.
+    sweep("warm-up (untimed)");
+    let best_of_2 = |label: &str| sweep(label).min(sweep(label));
+    set_sim_threads(Some(1));
+    let sequential_s = best_of_2("sequential (1 worker)");
+    set_sim_threads(None);
+    let workers = sim_threads(usize::MAX);
+    let parallel_s = best_of_2(&format!("parallel ({workers} workers)"));
+    let record = HostSimBench {
+        workers,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        sequential_s,
+        parallel_s,
+        speedup: if parallel_s > 0.0 { sequential_s / parallel_s } else { 1.0 },
+        datasets: prepared.len(),
+        scale: format!("{:?}", env.scale).to_lowercase(),
+        detail: match env.detail {
+            tahoe_gpu_sim::kernel::Detail::Full => "full".to_string(),
+            tahoe_gpu_sim::kernel::Detail::Sampled(n) => n.to_string(),
+        },
+    };
+    println!(
+        "[host_perf] speedup {:.2}x with {} workers on {} host cores",
+        record.speedup, record.workers, record.host_cores
+    );
+    write_json("BENCH_host_sim", &record);
+}

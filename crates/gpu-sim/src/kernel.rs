@@ -38,6 +38,7 @@ use crate::block::{BlockResult, BlockSim};
 use crate::coalesce::AccessStats;
 use crate::device::DeviceSpec;
 use crate::occupancy::{concurrent_blocks, waves};
+use crate::parallel::parallel_map;
 use crate::warp::LevelStats;
 
 /// How many blocks to simulate in detail.
@@ -136,6 +137,27 @@ impl<'d> KernelSim<'d> {
         self.sampled.push(block);
     }
 
+    /// Simulates the planned blocks in parallel and records their results in
+    /// plan order.
+    ///
+    /// `sim` receives each plan entry (the block's grid index) and a fresh
+    /// [`BlockSim`], and returns the finished [`BlockResult`]. Sampled blocks
+    /// are independent by construction, so they fan out across host worker
+    /// threads via [`crate::parallel::parallel_map`] (worker count
+    /// overridable through `TAHOE_SIM_THREADS` or
+    /// [`crate::parallel::set_sim_threads`]). Results are merged back in plan
+    /// order, so [`Self::finish`] accumulates floating-point sums in the same
+    /// sequence regardless of worker count: a 1-thread and an N-thread run
+    /// produce bit-identical [`KernelResult`]s.
+    pub fn simulate_blocks<F>(&mut self, plan: &[usize], sim: F)
+    where
+        F: Fn(usize, BlockSim<'d>) -> BlockResult + Sync,
+    {
+        let device = self.device;
+        self.sampled
+            .extend(parallel_map(plan.len(), |i| sim(plan[i], BlockSim::new(device))));
+    }
+
     /// Records one device-wide segmented reduction over `n_blocks` partial
     /// results (cub::DeviceSegmentedReduce-style). Returns the cost charged.
     pub fn global_reduce(&mut self, n_blocks: usize) -> f64 {
@@ -167,26 +189,37 @@ impl<'d> KernelSim<'d> {
     /// Panics if no block was simulated.
     #[must_use]
     pub fn finish(self) -> KernelResult {
-        assert!(!self.sampled.is_empty(), "no blocks were simulated");
-        let n_sampled = self.sampled.len();
-        let scale = self.grid_blocks as f64 / n_sampled as f64;
-        let concurrent =
-            concurrent_blocks(self.device, self.threads_per_block, self.smem_per_block);
-        let resident = concurrent.min(self.grid_blocks).max(1);
-        let gmem_share = self.device.gmem_bytes_per_ns / resident as f64;
-        let smem_share = self.device.smem_bytes_per_ns / resident as f64;
+        let Self {
+            device,
+            grid_blocks,
+            threads_per_block,
+            smem_per_block,
+            sampled,
+            global_reduction_ns,
+        } = self;
+        assert!(!sampled.is_empty(), "no blocks were simulated");
+        let n_sampled = sampled.len();
+        let scale = grid_blocks as f64 / n_sampled as f64;
+        let concurrent = concurrent_blocks(device, threads_per_block, smem_per_block);
+        let resident = concurrent.min(grid_blocks).max(1);
+        let gmem_share = device.gmem_bytes_per_ns / resident as f64;
+        let smem_share = device.smem_bytes_per_ns / resident as f64;
 
         let mut gmem = AccessStats::default();
         let mut smem = AccessStats::default();
         let mut levels: BTreeMap<u32, LevelStats> = BTreeMap::new();
-        let mut thread_busy_per_block: Vec<Vec<f64>> = Vec::new();
+        let mut thread_busy_per_block: Vec<Vec<f64>> = Vec::with_capacity(n_sampled);
         let mut sum_wall = 0.0f64;
         let mut max_wall = 0.0f64;
         let mut sum_reduction = 0.0f64;
         let mut sum_critical = 0.0f64;
         let mut steps = 0u64;
         let mut active_lane_steps = 0u64;
-        for b in &self.sampled {
+        // Blocks are consumed in index order; the floating-point sums below
+        // therefore accumulate in the same sequence however many worker
+        // threads simulated the blocks (the determinism guarantee of
+        // `simulate_blocks`).
+        for b in sampled {
             gmem.merge(&b.gmem);
             smem.merge(&b.smem);
             let bw_ns = (b.gmem.fetched_bytes as f64 / gmem_share)
@@ -198,7 +231,7 @@ impl<'d> KernelSim<'d> {
             sum_critical += b.critical_ns;
             steps += b.steps;
             active_lane_steps += b.active_lane_steps;
-            thread_busy_per_block.push(b.thread_busy_ns.clone());
+            thread_busy_per_block.push(b.thread_busy_ns);
             for (lvl, stats) in &b.levels {
                 levels.entry(*lvl).or_default().merge(stats);
             }
@@ -206,22 +239,22 @@ impl<'d> KernelSim<'d> {
         let mean_wall = sum_wall / n_sampled as f64;
         let mean_reduction = sum_reduction / n_sampled as f64;
         let mean_critical = sum_critical / n_sampled as f64;
-        let n_waves = waves(self.grid_blocks, concurrent);
+        let n_waves = waves(grid_blocks, concurrent);
         let gmem_total = gmem.scaled(scale);
         let smem_total = smem.scaled(scale);
         let latency_bound = n_waves as f64 * mean_wall;
-        let gmem_bound = gmem_total.fetched_bytes as f64 / self.device.gmem_bytes_per_ns;
-        let smem_bound = smem_total.fetched_bytes as f64 / self.device.smem_bytes_per_ns;
+        let gmem_bound = gmem_total.fetched_bytes as f64 / device.gmem_bytes_per_ns;
+        let smem_bound = smem_total.fetched_bytes as f64 / device.smem_bytes_per_ns;
         let scheduled = latency_bound.max(gmem_bound).max(smem_bound).max(max_wall);
         let block_reduction_wall = n_waves as f64 * mean_reduction;
         KernelResult {
-            grid_blocks: self.grid_blocks,
-            threads_per_block: self.threads_per_block,
+            grid_blocks,
+            threads_per_block,
             sampled_blocks: n_sampled,
             concurrent_blocks: concurrent,
-            total_ns: scheduled + self.global_reduction_ns,
+            total_ns: scheduled + global_reduction_ns,
             block_reduction_wall_ns: block_reduction_wall,
-            global_reduction_ns: self.global_reduction_ns,
+            global_reduction_ns,
             mean_block_wall_ns: mean_wall,
             mean_block_critical_ns: mean_critical,
             max_block_wall_ns: max_wall,
@@ -231,7 +264,7 @@ impl<'d> KernelSim<'d> {
             levels,
             steps,
             active_lane_steps,
-            warp_size: self.device.warp_size,
+            warp_size: device.warp_size,
         }
     }
 }
@@ -437,6 +470,52 @@ mod tests {
         let r = run_kernel(&d, 16, Detail::Full);
         let f = r.reduction_fraction();
         assert!(f > 0.0 && f <= 1.0, "fraction {f}");
+    }
+
+    /// One deterministic but block-dependent workload, built either through
+    /// the sequential `push_block` path or the parallel driver.
+    fn lumpy_kernel(device: &DeviceSpec, parallel: bool) -> KernelResult {
+        let grid = 96usize;
+        let plan = sample_plan(grid, Detail::Sampled(24));
+        let trace = |block_idx: usize, mut b: BlockSim<'_>| {
+            let mut w = b.warp();
+            for s in 0..(4 + block_idx % 7) as u64 {
+                let accesses: Vec<(u8, u64)> = (0..32)
+                    .map(|i| (i as u8, 0x1000 + (block_idx as u64) * 4096 + s * 128 + i * 4))
+                    .collect();
+                w.gmem_read(&accesses, 4, Some((s % 3) as u32));
+            }
+            b.push_warp(w.finish());
+            b.block_reduce(64);
+            b.finish()
+        };
+        let mut k = KernelSim::new(device, grid, 64, 0);
+        if parallel {
+            k.simulate_blocks(&plan, trace);
+        } else {
+            for idx in plan {
+                k.push_block(trace(idx, k.block()));
+            }
+        }
+        k.finish()
+    }
+
+    #[test]
+    fn simulate_blocks_is_bit_identical_to_sequential_push() {
+        let d = DeviceSpec::tesla_p100();
+        for workers in [1usize, 2, 8] {
+            crate::parallel::set_sim_threads(Some(workers));
+            let par = lumpy_kernel(&d, true);
+            crate::parallel::set_sim_threads(None);
+            let seq = lumpy_kernel(&d, false);
+            assert_eq!(par.total_ns.to_bits(), seq.total_ns.to_bits(), "{workers} workers");
+            assert_eq!(par.mean_block_wall_ns.to_bits(), seq.mean_block_wall_ns.to_bits());
+            assert_eq!(par.gmem, seq.gmem);
+            assert_eq!(par.levels, seq.levels);
+            assert_eq!(par.thread_busy_per_block, seq.thread_busy_per_block);
+            assert_eq!(par.steps, seq.steps);
+            assert_eq!(par.active_lane_steps, seq.active_lane_steps);
+        }
     }
 
     #[test]

@@ -24,9 +24,14 @@
 //!   paper's performance models (Algorithm 1, line 4).
 //! - [`multigpu`] — data-parallel multi-device runs (§7.5 scaling).
 //! - [`metrics`] — CV / A.C.V. imbalance statistics.
-//! - [`parallel`] — host-side parallel map for simulation work.
+//! - [`parallel`] — host-side parallel map for simulation work
+//!   (`TAHOE_SIM_THREADS` overrides the worker count).
 //!
 //! # Examples
+//!
+//! Sampled blocks fan out across host worker threads via
+//! [`kernel::KernelSim::simulate_blocks`]; results merge in plan order, so
+//! the outcome is bit-identical however many workers ran.
 //!
 //! ```
 //! use tahoe_gpu_sim::device::DeviceSpec;
@@ -34,14 +39,14 @@
 //!
 //! let device = DeviceSpec::tesla_p100();
 //! let mut kernel = KernelSim::new(&device, 128, 256, 0);
-//! for _block in sample_plan(128, Detail::Sampled(8)) {
-//!     let mut block = kernel.block();
+//! let plan = sample_plan(128, Detail::Sampled(8));
+//! kernel.simulate_blocks(&plan, |_block_idx, mut block| {
 //!     let mut warp = block.warp();
 //!     let accesses: Vec<(u8, u64)> = (0..32).map(|i| (i as u8, 0x1000 + i * 4)).collect();
 //!     warp.gmem_read(&accesses, 4, None);
 //!     block.push_warp(warp.finish());
-//!     kernel.push_block(block.finish());
-//! }
+//!     block.finish()
+//! });
 //! let result = kernel.finish();
 //! assert!(result.total_ns > 0.0);
 //! assert!((result.gmem.efficiency() - 1.0).abs() < 1e-12);
@@ -66,4 +71,5 @@ pub use device::{Arch, DeviceSpec};
 pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
 pub use memory::{DeviceMemory, GlobalBuffer, OomError, ALLOC_ALIGN};
 pub use microbench::{measure, MeasuredParams};
-pub use warp::{LevelStats, WarpResult, WarpSim};
+pub use parallel::{parallel_map, set_sim_threads, sim_threads};
+pub use warp::{LevelStats, WarpResult, WarpSim, MAX_WARP_LANES};

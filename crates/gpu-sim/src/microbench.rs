@@ -69,18 +69,19 @@ pub fn measure(device: &DeviceSpec) -> MeasuredParams {
 fn pointer_chase_latency(device: &DeviceSpec, shared: bool) -> f64 {
     const STEPS: usize = 512;
     let mut k = KernelSim::new(device, 1, 32, if shared { 1024 } else { 0 });
-    let mut b = k.block();
-    let mut w = b.warp();
-    for s in 0..STEPS {
-        if shared {
-            w.smem_access(&[0], 4);
-        } else {
-            // Strided single-lane chain: every step its own transaction.
-            w.gmem_read(&[(0, 0x1000_0000 + (s as u64) * 4096)], 4, None);
+    k.simulate_blocks(&[0], |_, mut b| {
+        let mut w = b.warp();
+        for s in 0..STEPS {
+            if shared {
+                w.smem_access(&[0], 4);
+            } else {
+                // Strided single-lane chain: every step its own transaction.
+                w.gmem_read(&[(0, 0x1000_0000 + (s as u64) * 4096)], 4, None);
+            }
         }
-    }
-    b.push_warp(w.finish());
-    k.push_block(b.finish());
+        b.push_warp(w.finish());
+        b.finish()
+    });
     k.finish().total_ns / STEPS as f64
 }
 
@@ -93,19 +94,20 @@ fn gmem_stream_bandwidth(device: &DeviceSpec, lane_stride: u64) -> f64 {
     let grid = (crate::occupancy::concurrent_blocks(device, threads, 0) * 2).max(1);
     let mut k = KernelSim::new(device, grid, threads, 0);
     // All blocks are identical; simulate one and extrapolate.
-    let mut b = k.block();
-    for w_idx in 0..warps {
-        let mut w = b.warp();
-        for s in 0..STREAM_STEPS {
-            let base = 0x1000_0000u64 + (w_idx * STREAM_STEPS + s) as u64 * lane_stride * 32;
-            let accesses: Vec<(u8, u64)> = (0..device.warp_size as u64)
-                .map(|i| (i as u8, base + i * lane_stride))
-                .collect();
-            w.gmem_read(&accesses, 4, None);
+    k.simulate_blocks(&[0], |_, mut b| {
+        for w_idx in 0..warps {
+            let mut w = b.warp();
+            for s in 0..STREAM_STEPS {
+                let base = 0x1000_0000u64 + (w_idx * STREAM_STEPS + s) as u64 * lane_stride * 32;
+                let accesses: Vec<(u8, u64)> = (0..device.warp_size as u64)
+                    .map(|i| (i as u8, base + i * lane_stride))
+                    .collect();
+                w.gmem_read(&accesses, 4, None);
+            }
+            b.push_warp(w.finish());
         }
-        b.push_warp(w.finish());
-    }
-    k.push_block(b.finish());
+        b.finish()
+    });
     let r = k.finish();
     r.gmem.requested_bytes as f64 / r.total_ns
 }
@@ -116,16 +118,17 @@ fn smem_stream_bandwidth(device: &DeviceSpec) -> f64 {
     let warps = threads / device.warp_size as usize;
     let grid = crate::occupancy::concurrent_blocks(device, threads, 16 * 1024).max(1);
     let mut k = KernelSim::new(device, grid, threads, 16 * 1024);
-    let mut b = k.block();
     let lanes: Vec<u8> = (0..device.warp_size as u8).collect();
-    for _ in 0..warps {
-        let mut w = b.warp();
-        for _ in 0..STREAM_STEPS {
-            w.smem_access(&lanes, 4);
+    k.simulate_blocks(&[0], |_, mut b| {
+        for _ in 0..warps {
+            let mut w = b.warp();
+            for _ in 0..STREAM_STEPS {
+                w.smem_access(&lanes, 4);
+            }
+            b.push_warp(w.finish());
         }
-        b.push_warp(w.finish());
-    }
-    k.push_block(b.finish());
+        b.finish()
+    });
     let r = k.finish();
     r.smem.requested_bytes as f64 / r.total_ns
 }
@@ -134,13 +137,15 @@ fn smem_stream_bandwidth(device: &DeviceSpec) -> f64 {
 fn fit_block_reduce(device: &DeviceSpec) -> (f64, f64) {
     let cost = |threads: usize| -> f64 {
         let mut k = KernelSim::new(device, 1, threads, 0);
-        let mut b = k.block();
-        // A reduction needs at least a token warp so the block is non-empty.
-        let mut w = b.warp();
-        w.compute(&[0], 0.0);
-        b.push_warp(w.finish());
-        b.block_reduce(threads);
-        k.push_block(b.finish());
+        k.simulate_blocks(&[0], |_, mut b| {
+            // A reduction needs at least a token warp so the block is
+            // non-empty.
+            let mut w = b.warp();
+            w.compute(&[0], 0.0);
+            b.push_warp(w.finish());
+            b.block_reduce(threads);
+            b.finish()
+        });
         k.finish().total_ns
     };
     let (t1, t2) = (128usize, 512usize);
@@ -154,11 +159,12 @@ fn fit_block_reduce(device: &DeviceSpec) -> (f64, f64) {
 fn fit_global_reduce(device: &DeviceSpec) -> (f64, f64) {
     let cost = |blocks: usize| -> f64 {
         let mut k = KernelSim::new(device, blocks, 32, 0);
-        let mut b = k.block();
-        let mut w = b.warp();
-        w.compute(&[0], 0.0);
-        b.push_warp(w.finish());
-        k.push_block(b.finish());
+        k.simulate_blocks(&[0], |_, mut b| {
+            let mut w = b.warp();
+            w.compute(&[0], 0.0);
+            b.push_warp(w.finish());
+            b.finish()
+        });
         k.global_reduce(blocks);
         k.finish().global_reduction_ns
     };

@@ -2,19 +2,62 @@
 //!
 //! Simulating sampled blocks (and whole per-dataset experiments) is
 //! embarrassingly parallel; this module provides a dependency-light parallel
-//! map built on crossbeam's scoped threads with a shared atomic work index,
-//! so callers get order-preserving results without any unsafe code.
+//! map built on crossbeam's scoped threads, so callers get order-preserving
+//! results without any unsafe code.
+//!
+//! Worker count resolves, in priority order: the programmatic override set
+//! via [`set_sim_threads`], the `TAHOE_SIM_THREADS` environment variable,
+//! then `available_parallelism`. Results are merged in index order no matter
+//! how many workers ran, so anything built on [`parallel_map`] — in
+//! particular [`crate::kernel::KernelSim::simulate_blocks`] — is bit-identical
+//! between a 1-thread and an N-thread run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+/// Process-wide programmatic worker override (0 = none; falls through to
+/// `TAHOE_SIM_THREADS`, then `available_parallelism`).
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by [`parallel_map`] process-wide.
+///
+/// `Some(n)` forces `n` workers (clamped to at least 1); `None` restores the
+/// default resolution (`TAHOE_SIM_THREADS`, then `available_parallelism`).
+/// Used by the determinism tests and the `host_perf` benchmark to compare a
+/// forced 1-thread run against a multi-worker run in one process.
+pub fn set_sim_threads(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.map_or(0, |w| w.max(1)), Ordering::SeqCst);
+}
+
+/// Worker threads [`parallel_map`] uses for an `n`-item job.
+#[must_use]
+pub fn sim_threads(n: usize) -> usize {
+    let configured = match WORKER_OVERRIDE.load(Ordering::SeqCst) {
+        0 => env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        w => w,
+    };
+    configured.min(n).max(1)
+}
+
+/// `TAHOE_SIM_THREADS`, when set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("TAHOE_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w > 0)
+}
 
 /// Applies `f` to every item index in `0..n`, in parallel, returning results
 /// in index order.
 ///
-/// Uses up to `available_parallelism` worker threads (capped at `n`). Falls
-/// back to sequential execution for tiny inputs where thread spawn overhead
-/// dominates.
+/// Workers claim *chunks* of consecutive indices from a shared atomic cursor
+/// and accumulate `(index, value)` pairs privately, so there is no per-item
+/// lock contention; the chunks are stitched back into index order after the
+/// scope joins. Falls back to sequential execution for tiny inputs where
+/// thread spawn overhead dominates.
 ///
 /// # Panics
 ///
@@ -25,31 +68,44 @@ where
     F: Fn(usize) -> T + Sync,
 {
     const SEQUENTIAL_CUTOFF: usize = 4;
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
-    if n <= SEQUENTIAL_CUTOFF || workers <= 1 {
+    let workers = sim_threads(n);
+    if workers <= 1 || n <= SEQUENTIAL_CUTOFF {
         return (0..n).map(f).collect();
     }
+    // ~4 claims per worker balances cursor traffic against load imbalance
+    // from uneven item costs.
+    let chunk = (n / (workers * 4)).max(1);
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                *results[i].lock() = Some(value);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            produced.push((i, f(i)));
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        slots.extend((0..n).map(|_| None));
+        for handle in handles {
+            for (i, value) in handle.join().expect("simulation worker panicked") {
+                slots[i] = Some(value);
+            }
         }
     })
     .expect("simulation worker panicked");
-    results
+    slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every index is produced exactly once"))
+        .map(|slot| slot.expect("every index is produced exactly once"))
         .collect()
 }
 
@@ -86,5 +142,28 @@ mod tests {
         for (i, (idx, _)) in out.iter().enumerate() {
             assert_eq!(i, *idx);
         }
+    }
+
+    #[test]
+    fn forced_worker_counts_preserve_index_order() {
+        // Worker count must never change results — only wall-clock time.
+        // (Other tests may race on the global override; that is safe for the
+        // same reason.)
+        for workers in [1usize, 2, 3, 7, 16] {
+            set_sim_threads(Some(workers));
+            let out = parallel_map(37, |i| i * 3 + 1);
+            assert_eq!(out, (0..37).map(|i| i * 3 + 1).collect::<Vec<_>>(), "{workers} workers");
+        }
+        set_sim_threads(None);
+    }
+
+    #[test]
+    fn sim_threads_is_clamped_to_job_size() {
+        set_sim_threads(Some(64));
+        assert_eq!(sim_threads(3), 3);
+        assert_eq!(sim_threads(100), 64);
+        set_sim_threads(None);
+        assert!(sim_threads(1) == 1);
+        assert!(sim_threads(usize::MAX) >= 1);
     }
 }

@@ -70,24 +70,39 @@ pub struct WarpResult {
     pub active_lane_steps: u64,
 }
 
+/// Widest warp the tracer supports (capacity of the inline address scratch).
+pub const MAX_WARP_LANES: usize = 64;
+
 /// Tracer for one warp.
 pub struct WarpSim<'d> {
     device: &'d DeviceSpec,
     result: WarpResult,
-    scratch: Vec<u64>,
+    /// Inline address scratch for per-step coalescing: a stack buffer instead
+    /// of a heap `Vec`, so the hot loop stays allocation-free and warp
+    /// construction costs nothing beyond the result's lane vector.
+    addr_scratch: [u64; MAX_WARP_LANES],
 }
 
 impl<'d> WarpSim<'d> {
     /// Starts tracing a warp on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's warp is wider than [`MAX_WARP_LANES`].
     #[must_use]
     pub fn new(device: &'d DeviceSpec) -> Self {
+        assert!(
+            device.warp_size as usize <= MAX_WARP_LANES,
+            "warp width {} exceeds the tracer's {MAX_WARP_LANES}-lane scratch",
+            device.warp_size
+        );
         Self {
             device,
             result: WarpResult {
                 lane_busy_ns: vec![0.0; device.warp_size as usize],
                 ..WarpResult::default()
             },
-            scratch: Vec::with_capacity(device.warp_size as usize),
+            addr_scratch: [0; MAX_WARP_LANES],
         }
     }
 
@@ -130,14 +145,12 @@ impl<'d> WarpSim<'d> {
         if accesses.is_empty() {
             return;
         }
-        self.scratch.clear();
-        self.scratch.extend(accesses.iter().map(|&(_, a)| a));
-        let distance = adjacent_lane_distance(&self.scratch);
-        let txns = count_transactions(
-            &mut self.scratch,
-            elem_bytes,
-            self.device.transaction_bytes,
-        );
+        let addrs = &mut self.addr_scratch[..accesses.len()];
+        for (slot, &(_, addr)) in addrs.iter_mut().zip(accesses) {
+            *slot = addr;
+        }
+        let distance = adjacent_lane_distance(addrs);
+        let txns = count_transactions(addrs, elem_bytes, self.device.transaction_bytes);
         let requested = accesses.len() as u64 * elem_bytes;
         let fetched = txns * self.device.transaction_bytes;
         let step = AccessStats {

@@ -1,5 +1,7 @@
 //! Shared machinery for the inference-strategy kernels.
 
+use std::cell::RefCell;
+
 use tahoe_datasets::SampleMatrix;
 use tahoe_gpu_sim::device::DeviceSpec;
 use tahoe_gpu_sim::kernel::{Detail, KernelResult};
@@ -172,41 +174,58 @@ pub fn sample_attr_addr(
     buf.elem_addr((sample * n_attributes + attr) as u64, 4)
 }
 
+/// Reusable buffers for [`simulate_staging`]'s access loop.
+#[derive(Default)]
+struct StagingScratch {
+    lanes: Vec<u8>,
+    accesses: Vec<(u8, u64)>,
+}
+
+thread_local! {
+    static STAGING_SCRATCH: RefCell<StagingScratch> = RefCell::new(StagingScratch::default());
+}
+
 /// Simulates a block cooperatively streaming `n_words` consecutive f32 words
 /// from global memory into shared memory (fully coalesced reads + shared
 /// writes), spreading the work over the block's warps.
 ///
 /// Used for the sample staging of shared-data and the forest staging of
 /// splitting-shared-forest. Returns nothing; costs accrue on the block.
+/// Access buffers are reused from a per-thread pool, so blocks fanned out by
+/// `KernelSim::simulate_blocks` stage without per-step allocations.
 pub fn simulate_staging(block: &mut BlockSim<'_>, base_addr: u64, n_words: usize, n_warps: usize) {
-    let warp_size = 32usize;
+    let warp_size = block.device().warp_size as usize;
     let total_steps = n_words.div_ceil(warp_size);
-    let lanes: Vec<u8> = (0..warp_size as u8).collect();
-    for w in 0..n_warps {
-        let mut warp = block.warp();
-        // Warp w handles steps w, w + W, ... (grid-stride loop).
-        let mut step = w;
-        let mut accesses: Vec<(u8, u64)> = Vec::with_capacity(warp_size);
-        while step < total_steps {
-            accesses.clear();
-            let start = step * warp_size;
-            let end = (start + warp_size).min(n_words);
-            for (lane, word) in (start..end).enumerate() {
-                accesses.push((lane as u8, base_addr + word as u64 * 4));
+    STAGING_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.lanes.clear();
+        scratch.lanes.extend(0..warp_size as u8);
+        for w in 0..n_warps {
+            let mut warp = block.warp();
+            // Warp w handles steps w, w + W, ... (grid-stride loop).
+            let mut step = w;
+            while step < total_steps {
+                scratch.accesses.clear();
+                let start = step * warp_size;
+                let end = (start + warp_size).min(n_words);
+                for (lane, word) in (start..end).enumerate() {
+                    scratch.accesses.push((lane as u8, base_addr + word as u64 * 4));
+                }
+                warp.gmem_read_streamed(&scratch.accesses, 4, None);
+                warp.smem_access(&scratch.lanes[..end - start], 4);
+                step += n_warps;
             }
-            warp.gmem_read_streamed(&accesses, 4, None);
-            warp.smem_access(&lanes[..end - start], 4);
-            step += n_warps;
+            // Staging is cooperative block-wide work, not a per-thread
+            // workload: blank the lane-busy times so imbalance metrics
+            // (Fig. 2c, Table 3) measure traversal threads only, as the
+            // paper's profiling does.
+            let mut result = warp.finish();
+            for busy in &mut result.lane_busy_ns {
+                *busy = 0.0;
+            }
+            block.push_warp(result);
         }
-        // Staging is cooperative block-wide work, not a per-thread workload:
-        // blank the lane-busy times so imbalance metrics (Fig. 2c, Table 3)
-        // measure traversal threads only, as the paper's profiling does.
-        let mut result = warp.finish();
-        for busy in &mut result.lane_busy_ns {
-            *busy = 0.0;
-        }
-        block.push_warp(result);
-    }
+    });
 }
 
 /// Per-lane traversal state machine over one tree, shared by the
@@ -307,6 +326,34 @@ pub struct TraversalScratch {
     attr_accesses: Vec<(u8, u64)>,
     active_lanes: Vec<u8>,
     eval_lanes: Vec<u8>,
+}
+
+/// Per-worker reusable buffers for one block's strategy simulation.
+///
+/// Blocks fan out across host threads (`KernelSim::simulate_blocks`), so the
+/// scratch lives in a thread-local pool instead of being threaded through the
+/// closure: each worker reuses its buffers across every block it claims, and
+/// a 1-thread run reuses one set across the whole grid.
+#[derive(Default)]
+pub struct BlockScratch {
+    /// Traversal-loop buffers.
+    pub traversal: TraversalScratch,
+    /// Per-warp lane → sample assignment.
+    pub lane_samples: Vec<Option<usize>>,
+}
+
+thread_local! {
+    static BLOCK_SCRATCH: RefCell<BlockScratch> = RefCell::new(BlockScratch::default());
+}
+
+/// Runs `f` with the calling worker thread's reusable [`BlockScratch`].
+///
+/// # Panics
+///
+/// Panics on re-entrant use from the same thread (the strategies call it
+/// once per simulated block, never nested).
+pub fn with_block_scratch<R>(f: impl FnOnce(&mut BlockScratch) -> R) -> R {
+    BLOCK_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 #[cfg(test)]

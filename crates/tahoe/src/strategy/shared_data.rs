@@ -77,10 +77,10 @@ pub fn run(ctx: &LaunchContext<'_>) -> StrategyRun {
     let reduce_values = ctx.forest.n_trees().min(s.threads);
     let mut kernel = KernelSim::new(ctx.device, s.grid, s.threads, s.smem);
     let n_attr = ctx.samples.n_attributes();
-    for block_idx in sample_plan(s.grid, ctx.detail) {
+    let plan = sample_plan(s.grid, ctx.detail);
+    kernel.simulate_blocks(&plan, |block_idx, mut block| {
         let s0 = block_idx * s.chunk;
         let s1 = (s0 + s.chunk).min(n);
-        let mut block = kernel.block();
         // Stage the chunk's samples into shared memory (coalesced).
         let words = (s1 - s0) * n_attr;
         if words > 0 {
@@ -88,35 +88,34 @@ pub fn run(ctx: &LaunchContext<'_>) -> StrategyRun {
             simulate_staging(&mut block, base, words, n_warps);
         }
         // Traversal: warp-level lockstep over (sample, tree round, level).
-        let mut scratch = WarpScratch::default();
-        let mut lane_trees: Vec<Option<u32>> = Vec::with_capacity(warp);
-        for w in 0..n_warps {
-            let mut warp_sim = block.warp();
-            for sample in s0..s1 {
-                for r in 0..max_rounds {
-                    lane_trees.clear();
-                    for lane in 0..warp {
-                        let thread = w * warp + lane;
-                        lane_trees.push(assignment[thread].get(r).copied());
+        with_warp_scratch(|scratch| {
+            for w in 0..n_warps {
+                let mut warp_sim = block.warp();
+                for sample in s0..s1 {
+                    for r in 0..max_rounds {
+                        scratch.lane_trees.clear();
+                        for lane in 0..warp {
+                            let thread = w * warp + lane;
+                            scratch.lane_trees.push(assignment[thread].get(r).copied());
+                        }
+                        traverse_assigned_trees(
+                            &mut warp_sim,
+                            ctx.forest,
+                            ctx.samples,
+                            sample,
+                            scratch,
+                        );
                     }
-                    traverse_assigned_trees(
-                        &mut warp_sim,
-                        ctx.forest,
-                        ctx.samples,
-                        sample,
-                        &lane_trees,
-                        &mut scratch,
-                    );
                 }
+                block.push_warp(warp_sim.finish());
             }
-            block.push_warp(warp_sim.finish());
-        }
+        });
         // One block-wide reduction per staged sample.
         for _ in s0..s1 {
             block.block_reduce(reduce_values);
         }
-        kernel.push_block(block.finish());
-    }
+        block.finish()
+    });
     StrategyRun {
         strategy: Strategy::SharedData,
         kernel: kernel.finish(),
@@ -125,26 +124,39 @@ pub fn run(ctx: &LaunchContext<'_>) -> StrategyRun {
     }
 }
 
-/// Reusable buffers for the lockstep loop.
+/// Reusable buffers for the lockstep loop, pooled per worker thread:
+/// `simulate_blocks` fans blocks out across host threads, and each worker
+/// reuses one scratch across every block it claims.
 #[derive(Default)]
 struct WarpScratch {
+    lane_trees: Vec<Option<u32>>,
     slots: Vec<Option<u32>>,
     node_accesses: Vec<(u8, u64)>,
     eval_lanes: Vec<u8>,
 }
 
+thread_local! {
+    static WARP_SCRATCH: std::cell::RefCell<WarpScratch> =
+        std::cell::RefCell::new(WarpScratch::default());
+}
+
+/// Runs `f` with the calling worker thread's reusable [`WarpScratch`].
+fn with_warp_scratch<R>(f: impl FnOnce(&mut WarpScratch) -> R) -> R {
+    WARP_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
 /// Level-synchronous traversal where each lane walks its *own* tree for the
-/// same sample (the thread-per-tree pattern of shared data).
+/// same sample (the thread-per-tree pattern of shared data); reads
+/// `scratch.lane_trees` as the lane → tree assignment.
 fn traverse_assigned_trees(
     warp: &mut tahoe_gpu_sim::WarpSim<'_>,
     forest: &DeviceForest,
     samples: &tahoe_datasets::SampleMatrix,
     sample: usize,
-    lane_trees: &[Option<u32>],
     scratch: &mut WarpScratch,
 ) {
     scratch.slots.clear();
-    for t in lane_trees {
+    for t in &scratch.lane_trees {
         scratch
             .slots
             .push(t.map(|tree| forest.roots()[tree as usize]));

@@ -9,8 +9,8 @@
 use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
 
 use super::common::{
-    traverse_tree_warp, Geometry, LaunchContext, Strategy, StrategyRun, TraversalConfig,
-    TraversalScratch,
+    traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy, StrategyRun,
+    TraversalConfig,
 };
 
 /// Whether the forest fits in one block's shared memory.
@@ -61,36 +61,36 @@ pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
         geo.threads_per_block,
         geo.smem_per_block,
     );
-    let mut scratch = TraversalScratch::default();
-    let mut lane_samples: Vec<Option<usize>> = Vec::with_capacity(warp);
-    for block_idx in sample_plan(geo.grid_blocks, ctx.detail) {
-        let mut block = kernel.block();
-        for w in 0..n_warps {
-            lane_samples.clear();
-            for lane in 0..warp {
-                let sample = block_idx * geo.threads_per_block + w * warp + lane;
-                lane_samples.push((sample < n).then_some(sample));
+    let plan = sample_plan(geo.grid_blocks, ctx.detail);
+    kernel.simulate_blocks(&plan, |block_idx, mut block| {
+        with_block_scratch(|scratch| {
+            for w in 0..n_warps {
+                scratch.lane_samples.clear();
+                for lane in 0..warp {
+                    let sample = block_idx * geo.threads_per_block + w * warp + lane;
+                    scratch.lane_samples.push((sample < n).then_some(sample));
+                }
+                if scratch.lane_samples.iter().all(Option::is_none) {
+                    continue;
+                }
+                let mut warp_sim = block.warp();
+                for tree in 0..ctx.forest.n_trees() {
+                    traverse_tree_warp(
+                        &mut warp_sim,
+                        ctx.forest,
+                        ctx.samples,
+                        ctx.sample_buf,
+                        tree,
+                        &scratch.lane_samples,
+                        &cfg,
+                        &mut scratch.traversal,
+                    );
+                }
+                block.push_warp(warp_sim.finish());
             }
-            if lane_samples.iter().all(Option::is_none) {
-                continue;
-            }
-            let mut warp_sim = block.warp();
-            for tree in 0..ctx.forest.n_trees() {
-                traverse_tree_warp(
-                    &mut warp_sim,
-                    ctx.forest,
-                    ctx.samples,
-                    ctx.sample_buf,
-                    tree,
-                    &lane_samples,
-                    &cfg,
-                    &mut scratch,
-                );
-            }
-            block.push_warp(warp_sim.finish());
-        }
-        kernel.push_block(block.finish());
-    }
+        });
+        block.finish()
+    });
     Some(StrategyRun {
         strategy: Strategy::SharedForest,
         kernel: kernel.finish(),

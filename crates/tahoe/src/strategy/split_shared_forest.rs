@@ -17,8 +17,8 @@ use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
 use tahoe_gpu_sim::occupancy::concurrent_blocks;
 
 use super::common::{
-    simulate_staging, traverse_tree_warp, Geometry, LaunchContext, Strategy, StrategyRun,
-    TraversalConfig, TraversalScratch,
+    simulate_staging, traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy,
+    StrategyRun, TraversalConfig,
 };
 use crate::format::DeviceForest;
 
@@ -105,14 +105,12 @@ pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
         tag_levels: false,
     };
     let mut kernel = KernelSim::new(ctx.device, geo.grid_blocks, threads, smem);
-    let mut scratch = TraversalScratch::default();
-    let mut lane_samples: Vec<Option<usize>> = Vec::with_capacity(warp);
-    for block_idx in sample_plan(geo.grid_blocks, ctx.detail) {
+    let plan = sample_plan(geo.grid_blocks, ctx.detail);
+    kernel.simulate_blocks(&plan, |block_idx, mut block| {
         let part = parts[block_idx % n_parts].clone();
         let tile = block_idx / n_parts;
         let t0 = tile * tile_len;
         let t1 = (t0 + tile_len).min(n);
-        let mut block = kernel.block();
         // Stage this part's trees from global to shared memory (coalesced).
         let part_bytes = ctx.forest.trees_smem_bytes(part.start, part.end);
         if part_bytes > 0 {
@@ -120,34 +118,36 @@ pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
             simulate_staging(&mut block, base, part_bytes / 4, n_warps);
         }
         let rounds = (t1.saturating_sub(t0)).div_ceil(threads);
-        for w in 0..n_warps {
-            let mut warp_sim = block.warp();
-            for round in 0..rounds {
-                lane_samples.clear();
-                for lane in 0..warp {
-                    let sample = t0 + round * threads + w * warp + lane;
-                    lane_samples.push((sample < t1).then_some(sample));
+        with_block_scratch(|scratch| {
+            for w in 0..n_warps {
+                let mut warp_sim = block.warp();
+                for round in 0..rounds {
+                    scratch.lane_samples.clear();
+                    for lane in 0..warp {
+                        let sample = t0 + round * threads + w * warp + lane;
+                        scratch.lane_samples.push((sample < t1).then_some(sample));
+                    }
+                    if scratch.lane_samples.iter().all(Option::is_none) {
+                        continue;
+                    }
+                    for tree in part.clone() {
+                        traverse_tree_warp(
+                            &mut warp_sim,
+                            ctx.forest,
+                            ctx.samples,
+                            ctx.sample_buf,
+                            tree,
+                            &scratch.lane_samples,
+                            &cfg,
+                            &mut scratch.traversal,
+                        );
+                    }
                 }
-                if lane_samples.iter().all(Option::is_none) {
-                    continue;
-                }
-                for tree in part.clone() {
-                    traverse_tree_warp(
-                        &mut warp_sim,
-                        ctx.forest,
-                        ctx.samples,
-                        ctx.sample_buf,
-                        tree,
-                        &lane_samples,
-                        &cfg,
-                        &mut scratch,
-                    );
-                }
+                block.push_warp(warp_sim.finish());
             }
-            block.push_warp(warp_sim.finish());
-        }
-        kernel.push_block(block.finish());
-    }
+        });
+        block.finish()
+    });
     // One segmented reduction over P partials per sample for the batch.
     kernel.global_reduce_values(n_parts, (n_parts * n) as u64, 4);
     Some(StrategyRun {

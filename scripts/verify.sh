@@ -8,3 +8,8 @@ set -eu
 cargo build --workspace --release
 cargo clippy --workspace --all-targets --release -- -D warnings
 cargo test --workspace --release
+
+# The parallel block-simulation driver must be bit-identical at any worker
+# count; exercise the TAHOE_SIM_THREADS env path at 1 and 4 workers.
+TAHOE_SIM_THREADS=1 cargo test --release --test determinism
+TAHOE_SIM_THREADS=4 cargo test --release --test determinism

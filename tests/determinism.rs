@@ -1,0 +1,145 @@
+//! Cross-crate determinism gate for the parallel simulation pipeline.
+//!
+//! `KernelSim::simulate_blocks` fans sampled blocks out across host worker
+//! threads but merges results in plan order, so `finish()` accumulates its
+//! floating-point sums in the same sequence regardless of worker count. This
+//! test pins that guarantee end-to-end: a forced 1-thread run and a forced
+//! multi-worker run of every strategy must produce bit-identical
+//! `KernelResult`s. `scripts/verify.sh` additionally runs this binary under
+//! `TAHOE_SIM_THREADS=1` and `TAHOE_SIM_THREADS=4` to exercise the
+//! environment-variable path.
+
+use tahoe::strategy::testutil::{context, Fixture};
+use tahoe::strategy::{self, Strategy};
+use tahoe_gpu_sim::kernel::{Detail, KernelResult};
+use tahoe_gpu_sim::parallel::set_sim_threads;
+
+/// Asserts every field of two kernel results matches bit-for-bit (floats
+/// compared via `to_bits`, so `-0.0` vs `0.0` or any ULP drift fails).
+fn assert_bit_identical(a: &KernelResult, b: &KernelResult, what: &str) {
+    assert_eq!(a.grid_blocks, b.grid_blocks, "{what}: grid_blocks");
+    assert_eq!(a.threads_per_block, b.threads_per_block, "{what}: threads_per_block");
+    assert_eq!(a.sampled_blocks, b.sampled_blocks, "{what}: sampled_blocks");
+    assert_eq!(a.concurrent_blocks, b.concurrent_blocks, "{what}: concurrent_blocks");
+    assert_eq!(a.total_ns.to_bits(), b.total_ns.to_bits(), "{what}: total_ns");
+    assert_eq!(
+        a.block_reduction_wall_ns.to_bits(),
+        b.block_reduction_wall_ns.to_bits(),
+        "{what}: block_reduction_wall_ns"
+    );
+    assert_eq!(
+        a.global_reduction_ns.to_bits(),
+        b.global_reduction_ns.to_bits(),
+        "{what}: global_reduction_ns"
+    );
+    assert_eq!(
+        a.mean_block_wall_ns.to_bits(),
+        b.mean_block_wall_ns.to_bits(),
+        "{what}: mean_block_wall_ns"
+    );
+    assert_eq!(
+        a.mean_block_critical_ns.to_bits(),
+        b.mean_block_critical_ns.to_bits(),
+        "{what}: mean_block_critical_ns"
+    );
+    assert_eq!(
+        a.max_block_wall_ns.to_bits(),
+        b.max_block_wall_ns.to_bits(),
+        "{what}: max_block_wall_ns"
+    );
+    assert_eq!(a.gmem, b.gmem, "{what}: gmem");
+    assert_eq!(a.smem, b.smem, "{what}: smem");
+    assert_eq!(a.steps, b.steps, "{what}: steps");
+    assert_eq!(a.active_lane_steps, b.active_lane_steps, "{what}: active_lane_steps");
+    assert_eq!(a.warp_size, b.warp_size, "{what}: warp_size");
+    // Imbalance vectors: same blocks, same lanes, same busy times, same order.
+    assert_eq!(
+        a.thread_busy_per_block.len(),
+        b.thread_busy_per_block.len(),
+        "{what}: sampled block count"
+    );
+    for (i, (ba, bb)) in a
+        .thread_busy_per_block
+        .iter()
+        .zip(&b.thread_busy_per_block)
+        .enumerate()
+    {
+        assert_eq!(ba.len(), bb.len(), "{what}: block {i} lane count");
+        for (lane, (x, y)) in ba.iter().zip(bb).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: block {i} lane {lane} busy");
+        }
+    }
+    // Per-level statistics (Fig. 2a instrumentation).
+    assert_eq!(
+        a.levels.keys().collect::<Vec<_>>(),
+        b.levels.keys().collect::<Vec<_>>(),
+        "{what}: level keys"
+    );
+    for (lvl, sa) in &a.levels {
+        let sb = &b.levels[lvl];
+        assert_eq!(sa.access, sb.access, "{what}: level {lvl} access");
+        assert_eq!(
+            sa.distance_sum.to_bits(),
+            sb.distance_sum.to_bits(),
+            "{what}: level {lvl} distance_sum"
+        );
+        assert_eq!(sa.distance_steps, sb.distance_steps, "{what}: level {lvl} distance_steps");
+    }
+}
+
+/// All four strategies, 1-thread vs forced multi-worker, bit-identical.
+///
+/// Kept as a single test function: the worker override is process-global, so
+/// the forced phases must not interleave with other override writers.
+#[test]
+fn parallel_simulation_is_bit_identical_to_one_thread() {
+    for dataset in ["letter", "higgs"] {
+        let fx = Fixture::trained(dataset);
+        // Full detail on the smoke-scale grid: every block simulated, so the
+        // merge order is exercised across the whole grid. 32-thread blocks
+        // keep every strategy's grid above the parallel driver's sequential
+        // cutoff (asserted below) — at the 256-thread default most smoke
+        // grids collapse to a handful of blocks and the fan-out path would
+        // never run.
+        let mut ctx = context(&fx, Detail::Full);
+        ctx.block_threads = 32;
+        for s in Strategy::ALL {
+            set_sim_threads(Some(1));
+            let sequential = strategy::run(s, &ctx);
+            // 4 workers even on a 1-core host: oversubscription changes
+            // scheduling, never results.
+            set_sim_threads(Some(4));
+            let parallel = strategy::run(s, &ctx);
+            set_sim_threads(None);
+            match (sequential, parallel) {
+                (Some(seq), Some(par)) => {
+                    assert!(
+                        seq.kernel.sampled_blocks > 4,
+                        "{dataset}/{s}: grid too small to exercise the parallel driver"
+                    );
+                    assert_bit_identical(&seq.kernel, &par.kernel, &format!("{dataset}/{s}"));
+                    assert_eq!(seq.geometry, par.geometry, "{dataset}/{s}: geometry");
+                    assert_eq!(seq.n_samples, par.n_samples, "{dataset}/{s}: n_samples");
+                }
+                (None, None) => {} // infeasible either way — consistent
+                _ => panic!("{dataset}/{s}: feasibility changed with worker count"),
+            }
+        }
+    }
+}
+
+/// Repeated runs under the ambient configuration (whatever
+/// `TAHOE_SIM_THREADS` / core count says) are self-consistent. Safe to race
+/// with the override test: worker count must never change results.
+#[test]
+fn repeated_runs_are_self_consistent() {
+    let fx = Fixture::trained("ijcnn1");
+    let ctx = context(&fx, Detail::Sampled(8));
+    for s in Strategy::ALL {
+        let Some(first) = strategy::run(s, &ctx) else {
+            continue;
+        };
+        let second = strategy::run(s, &ctx).expect("feasibility is deterministic");
+        assert_bit_identical(&first.kernel, &second.kernel, s.name());
+    }
+}

@@ -45,6 +45,7 @@ fn bench_model(c: &mut Criterion) {
         sample_buf: buf,
         detail: Detail::Sampled(1),
         block_threads: 256,
+        telemetry: tahoe::telemetry::TelemetryCtx::disabled(),
     };
     let inputs = ModelInputs::gather(&forest, &stats, &samples);
     c.bench_function("model_predict_one", |b| {

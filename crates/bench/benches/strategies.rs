@@ -51,6 +51,7 @@ fn bench_strategy_simulation(c: &mut Criterion) {
             sample_buf: fx.buf,
             detail: Detail::Sampled(8),
             block_threads: 256,
+            telemetry: tahoe::telemetry::TelemetryCtx::disabled(),
         };
         if strategy::geometry(s, &ctx).is_none() {
             continue;

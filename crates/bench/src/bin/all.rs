@@ -41,5 +41,6 @@ fn main() {
     let ablations = exp::ablations::run(&env);
     exp::ablations::report(&ablations);
 
+    env.export_telemetry();
     println!("\n[all] done — JSON records in results/");
 }

@@ -4,4 +4,5 @@ fn main() {
     let env = tahoe_bench::Env::from_args();
     let result = tahoe_bench::experiments::strategies::run_fig5(&env);
     tahoe_bench::experiments::strategies::report_fig5(&result);
+    env.export_telemetry();
 }

@@ -224,6 +224,57 @@ fn main() {
         }
     });
 
+    // Telemetry is opt-in (`--trace`/`--metrics`), so the snapshot is digested
+    // only when present rather than reported as missing.
+    if let Some(v) = fs::read_to_string(dir.join("telemetry_metrics.json"))
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        let c = |name: &str| v["counters"][name].as_u64().unwrap_or(0);
+        let _ = writeln!(out, "\n## Telemetry counters");
+        let _ = writeln!(
+            out,
+            "- kernel launches: {} ({} blocks simulated); spans recorded: {}",
+            c("kernel_launches"),
+            c("simulated_blocks"),
+            v["span_count"].as_u64().unwrap_or(0),
+        );
+        let fetched = c("gmem_fetched_bytes");
+        if fetched > 0 {
+            let _ = writeln!(
+                out,
+                "- global-load efficiency: {:.1}% ({} requested / {} fetched bytes, {} uncoalesced)",
+                100.0 * c("gmem_requested_bytes") as f64 / fetched as f64,
+                c("gmem_requested_bytes"),
+                fetched,
+                c("gmem_uncoalesced_bytes"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "- reductions: {} block-level, {} global",
+            c("block_reductions"),
+            c("global_reductions"),
+        );
+        let acv_total = c("acv_blocks_counted") + c("acv_blocks_skipped");
+        if acv_total > 0 {
+            let _ = writeln!(
+                out,
+                "- A.C.V. coverage: {}/{acv_total} sampled blocks counted ({} skipped with <2 busy threads)",
+                c("acv_blocks_counted"),
+                c("acv_blocks_skipped"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "- allocator: {} allocs / {} frees, high water {:.1} MiB, {} OOM retries",
+            c("device_allocs"),
+            c("device_frees"),
+            c("alloc_high_water_bytes") as f64 / (1024.0 * 1024.0),
+            c("device_oom_events"),
+        );
+    }
+
     if !missing.is_empty() {
         let _ = writeln!(out, "\n(missing records: {})", missing.join(", "));
     }

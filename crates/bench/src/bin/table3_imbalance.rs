@@ -4,4 +4,5 @@ fn main() {
     let env = tahoe_bench::Env::from_args();
     let result = tahoe_bench::experiments::overall::run(&env);
     tahoe_bench::experiments::overall::report_table3(&result);
+    env.export_telemetry();
 }

@@ -1,15 +1,25 @@
 //! Experiment environment: CLI flags shared by every binary.
 
+use std::path::PathBuf;
+
+use tahoe::telemetry::TelemetrySink;
 use tahoe_datasets::Scale;
 use tahoe_gpu_sim::kernel::Detail;
 
 /// Parsed experiment flags.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Env {
     /// Dataset/forest scale (`--scale paper|ci|smoke`, default `ci`).
     pub scale: Scale,
     /// Blocks simulated in detail per kernel (`--detail N|full`, default 32).
     pub detail: Detail,
+    /// Chrome trace-event JSON output (`--trace <path>`); `None` = off.
+    pub trace: Option<PathBuf>,
+    /// Metrics-snapshot JSON output (`--metrics <path>`); `None` = off.
+    pub metrics: Option<PathBuf>,
+    /// Telemetry sink for the run: recording iff `--trace` or `--metrics`
+    /// was given, otherwise disabled (zero overhead).
+    pub sink: TelemetrySink,
 }
 
 impl Default for Env {
@@ -17,6 +27,9 @@ impl Default for Env {
         Self {
             scale: Scale::Ci,
             detail: Detail::Sampled(32),
+            trace: None,
+            metrics: None,
+            sink: TelemetrySink::Disabled,
         }
     }
 }
@@ -59,17 +72,55 @@ impl Env {
                         Detail::Sampled(n.max(1))
                     };
                 }
+                "--trace" => {
+                    let v = it.next().unwrap_or_else(|| usage("missing value for --trace"));
+                    env.trace = Some(PathBuf::from(v));
+                }
+                "--metrics" => {
+                    let v = it.next().unwrap_or_else(|| usage("missing value for --metrics"));
+                    env.metrics = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
+        if env.trace.is_some() || env.metrics.is_some() {
+            env.sink = TelemetrySink::recording();
+        }
         env
+    }
+
+    /// Writes the requested telemetry exports: the Chrome trace to `--trace`,
+    /// the metrics snapshot to `--metrics`, and (when recording) a
+    /// `telemetry_metrics` result JSON for `report_md`. No-op when neither
+    /// flag was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an output path cannot be written.
+    pub fn export_telemetry(&self) {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, self.sink.chrome_trace_json())
+                .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+            eprintln!("wrote Chrome trace to {}", path.display());
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, self.sink.metrics_json())
+                .unwrap_or_else(|e| panic!("cannot write metrics {}: {e}", path.display()));
+            eprintln!("wrote metrics snapshot to {}", path.display());
+        }
+        if self.sink.is_enabled() {
+            crate::report::write_json("telemetry_metrics", &self.sink.snapshot());
+        }
     }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: <experiment> [--scale paper|ci|smoke] [--detail N|full]");
+    eprintln!(
+        "usage: <experiment> [--scale paper|ci|smoke] [--detail N|full] \
+         [--trace <path>] [--metrics <path>]"
+    );
     std::process::exit(2)
 }
 
@@ -86,6 +137,8 @@ mod tests {
         let e = parse(&[]);
         assert_eq!(e.scale, Scale::Ci);
         assert_eq!(e.detail, Detail::Sampled(32));
+        assert!(e.trace.is_none() && e.metrics.is_none());
+        assert!(!e.sink.is_enabled());
     }
 
     #[test]
@@ -95,5 +148,14 @@ mod tests {
         assert_eq!(e.detail, Detail::Sampled(8));
         let e = parse(&["--detail", "full"]);
         assert_eq!(e.detail, Detail::Full);
+    }
+
+    #[test]
+    fn telemetry_flags_enable_the_sink() {
+        let e = parse(&["--trace", "/tmp/t.json"]);
+        assert_eq!(e.trace.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert!(e.sink.is_enabled());
+        let e = parse(&["--metrics", "/tmp/m.json"]);
+        assert!(e.sink.is_enabled());
     }
 }

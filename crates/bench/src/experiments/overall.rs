@@ -4,7 +4,7 @@
 use serde::Serialize;
 
 use tahoe::engine::Engine;
-use tahoe::metrics::thread_acv;
+use tahoe::metrics::thread_acv_with_sink;
 use tahoe::strategy::Strategy;
 use tahoe_gpu_sim::metrics::geomean;
 
@@ -94,8 +94,10 @@ pub fn run(env: &Env) -> OverallResult {
     let mut rows = Vec::new();
     for p in &prepared {
         for device in devices() {
-            let mut fil = Engine::new(device.clone(), p.forest.clone(), fil_opts(env));
-            let mut tahoe = Engine::new(device.clone(), p.forest.clone(), tahoe_opts(env));
+            let mut fil =
+                Engine::with_telemetry(device.clone(), p.forest.clone(), fil_opts(env), env.sink.clone());
+            let mut tahoe =
+                Engine::with_telemetry(device.clone(), p.forest.clone(), tahoe_opts(env), env.sink.clone());
             for (high, size) in [(true, HIGH_BATCH), (false, LOW_BATCH)] {
                 let batch = batch_of(&p.infer, size);
                 let rf = fil.infer(&batch);
@@ -109,8 +111,8 @@ pub fn run(env: &Env) -> OverallResult {
                     tahoe_throughput: rt.run.throughput_samples_per_us(),
                     speedup: rf.run.kernel.total_ns / rt.run.kernel.total_ns,
                     tahoe_strategy: rt.strategy,
-                    fil_acv: thread_acv(&rf.run.kernel),
-                    tahoe_acv: thread_acv(&rt.run.kernel),
+                    fil_acv: thread_acv_with_sink(&rf.run.kernel, &env.sink),
+                    tahoe_acv: thread_acv_with_sink(&rt.run.kernel, &env.sink),
                 });
             }
         }

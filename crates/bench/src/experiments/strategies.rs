@@ -40,10 +40,11 @@ pub struct Fig5Result {
 #[must_use]
 pub fn strategy_row(env: &Env, p: &Prepared, batch_size: usize) -> StrategyRow {
     let batch = batch_of(&p.infer, batch_size);
-    let mut engine = Engine::new(
+    let mut engine = Engine::with_telemetry(
         DeviceSpec::tesla_p100(),
         p.forest.clone(),
         tahoe_opts(env),
+        env.sink.clone(),
     );
     let mut throughput = Vec::with_capacity(Strategy::ALL.len());
     let mut best: Option<(f64, Strategy)> = None;

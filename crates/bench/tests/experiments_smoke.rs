@@ -11,6 +11,7 @@ fn smoke_env() -> Env {
     Env {
         scale: Scale::Smoke,
         detail: Detail::Sampled(2),
+        ..Env::default()
     }
 }
 

@@ -23,12 +23,18 @@ pub struct BlockResult {
     pub critical_ns: f64,
     /// Time spent in block-wide reductions (ns).
     pub reduction_ns: f64,
+    /// Number of block-wide reduction operations recorded.
+    pub reductions: u64,
     /// Aggregated global-memory statistics.
     pub gmem: AccessStats,
     /// Aggregated shared-memory statistics.
     pub smem: AccessStats,
     /// Per-thread busy time, warp-major order.
     pub thread_busy_ns: Vec<f64>,
+    /// Serial (critical-path) time of each warp, push order (ns). Feeds the
+    /// telemetry span exporter's warp tracks; negligible next to
+    /// `thread_busy_ns`, which is `warp_size` times larger.
+    pub warp_serial_ns: Vec<f64>,
     /// Per-level statistics merged over warps.
     pub levels: BTreeMap<u32, LevelStats>,
     /// Number of warps simulated.
@@ -44,6 +50,7 @@ pub struct BlockSim<'d> {
     device: &'d DeviceSpec,
     warps: Vec<WarpResult>,
     reduction_ns: f64,
+    reductions: u64,
 }
 
 impl<'d> BlockSim<'d> {
@@ -54,6 +61,7 @@ impl<'d> BlockSim<'d> {
             device,
             warps: Vec::new(),
             reduction_ns: 0.0,
+            reductions: 0,
         }
     }
 
@@ -80,6 +88,7 @@ impl<'d> BlockSim<'d> {
         let cost = self.device.block_reduce_base_ns
             + self.device.block_reduce_ns_per_thread * n_threads as f64;
         self.reduction_ns += cost;
+        self.reductions += 1;
         cost
     }
 
@@ -94,6 +103,7 @@ impl<'d> BlockSim<'d> {
         let mut active_lane_steps = 0u64;
         let mut thread_busy_ns =
             Vec::with_capacity(self.warps.len() * self.device.warp_size as usize);
+        let mut warp_serial_ns = Vec::with_capacity(self.warps.len());
         for w in &self.warps {
             gmem.merge(&w.gmem);
             smem.merge(&w.smem);
@@ -101,6 +111,7 @@ impl<'d> BlockSim<'d> {
             steps += w.steps;
             active_lane_steps += w.active_lane_steps;
             thread_busy_ns.extend_from_slice(&w.lane_busy_ns);
+            warp_serial_ns.push(w.serial_ns);
             for (lvl, stats) in &w.levels {
                 levels.entry(*lvl).or_default().merge(stats);
             }
@@ -108,9 +119,11 @@ impl<'d> BlockSim<'d> {
         BlockResult {
             critical_ns,
             reduction_ns: self.reduction_ns,
+            reductions: self.reductions,
             gmem,
             smem,
             thread_busy_ns,
+            warp_serial_ns,
             levels,
             n_warps: self.warps.len(),
             steps,

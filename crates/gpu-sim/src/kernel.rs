@@ -39,6 +39,7 @@ use crate::coalesce::AccessStats;
 use crate::device::DeviceSpec;
 use crate::occupancy::{concurrent_blocks, waves};
 use crate::parallel::parallel_map;
+use crate::telemetry::{Counter, SpanEvent, TelemetrySink, PID_GPU};
 use crate::warp::LevelStats;
 
 /// How many blocks to simulate in detail.
@@ -71,6 +72,14 @@ pub fn sample_plan(grid_blocks: usize, detail: Detail) -> Vec<usize> {
     }
 }
 
+/// Telemetry attachment of one traced launch (absent when telemetry is
+/// disabled, so the untraced path carries no extra state).
+struct TraceConfig {
+    sink: TelemetrySink,
+    label: String,
+    t0_ns: f64,
+}
+
 /// Kernel launch description + accumulated sampled blocks.
 pub struct KernelSim<'d> {
     device: &'d DeviceSpec,
@@ -79,6 +88,12 @@ pub struct KernelSim<'d> {
     smem_per_block: usize,
     sampled: Vec<BlockResult>,
     global_reduction_ns: f64,
+    global_reductions: u64,
+    trace: Option<TraceConfig>,
+    /// Grid indices of the sampled blocks, recorded by `simulate_blocks`
+    /// when tracing (parallel to `sampled`; positions fall back to the
+    /// sample index for blocks pushed directly).
+    plan_idx: Vec<usize>,
 }
 
 impl<'d> KernelSim<'d> {
@@ -105,6 +120,25 @@ impl<'d> KernelSim<'d> {
             smem_per_block,
             sampled: Vec::new(),
             global_reduction_ns: 0.0,
+            global_reductions: 0,
+            trace: None,
+            plan_idx: Vec::new(),
+        }
+    }
+
+    /// Attaches a telemetry sink: [`Self::finish`] will emit this launch's
+    /// counters and a kernel → block → warp span tree starting at `t0_ns` on
+    /// the simulated timeline. A disabled sink is not stored, so the
+    /// untraced simulation path is unchanged. Emission happens entirely in
+    /// `finish`, in plan order — worker threads never touch the sink, so
+    /// traced output is bit-identical at any worker count.
+    pub fn set_trace(&mut self, sink: &TelemetrySink, label: impl Into<String>, t0_ns: f64) {
+        if sink.is_enabled() {
+            self.trace = Some(TraceConfig {
+                sink: sink.clone(),
+                label: label.into(),
+                t0_ns,
+            });
         }
     }
 
@@ -154,6 +188,9 @@ impl<'d> KernelSim<'d> {
         F: Fn(usize, BlockSim<'d>) -> BlockResult + Sync,
     {
         let device = self.device;
+        if self.trace.is_some() {
+            self.plan_idx.extend_from_slice(plan);
+        }
         self.sampled
             .extend(parallel_map(plan.len(), |i| sim(plan[i], BlockSim::new(device))));
     }
@@ -164,6 +201,7 @@ impl<'d> KernelSim<'d> {
         let cost = self.device.global_reduce_base_ns
             + self.device.global_reduce_ns_per_block * n_blocks as f64;
         self.global_reduction_ns += cost;
+        self.global_reductions += 1;
         cost
     }
 
@@ -196,6 +234,9 @@ impl<'d> KernelSim<'d> {
             smem_per_block,
             sampled,
             global_reduction_ns,
+            global_reductions,
+            trace,
+            plan_idx,
         } = self;
         assert!(!sampled.is_empty(), "no blocks were simulated");
         let n_sampled = sampled.len();
@@ -215,11 +256,15 @@ impl<'d> KernelSim<'d> {
         let mut sum_critical = 0.0f64;
         let mut steps = 0u64;
         let mut active_lane_steps = 0u64;
+        let mut block_reductions = 0u64;
+        // Per-block (wall, reduction, warp serials) retained for span
+        // emission; only populated when this launch is traced.
+        let mut span_data: Vec<(f64, f64, Vec<f64>)> = Vec::new();
         // Blocks are consumed in index order; the floating-point sums below
         // therefore accumulate in the same sequence however many worker
         // threads simulated the blocks (the determinism guarantee of
         // `simulate_blocks`).
-        for b in sampled {
+        for mut b in sampled {
             gmem.merge(&b.gmem);
             smem.merge(&b.smem);
             let bw_ns = (b.gmem.fetched_bytes as f64 / gmem_share)
@@ -231,6 +276,10 @@ impl<'d> KernelSim<'d> {
             sum_critical += b.critical_ns;
             steps += b.steps;
             active_lane_steps += b.active_lane_steps;
+            block_reductions += b.reductions;
+            if trace.is_some() {
+                span_data.push((wall, b.reduction_ns, std::mem::take(&mut b.warp_serial_ns)));
+            }
             thread_busy_per_block.push(b.thread_busy_ns);
             for (lvl, stats) in &b.levels {
                 levels.entry(*lvl).or_default().merge(stats);
@@ -247,6 +296,26 @@ impl<'d> KernelSim<'d> {
         let smem_bound = smem_total.fetched_bytes as f64 / device.smem_bytes_per_ns;
         let scheduled = latency_bound.max(gmem_bound).max(smem_bound).max(max_wall);
         let block_reduction_wall = n_waves as f64 * mean_reduction;
+        if let Some(tr) = &trace {
+            emit_launch_telemetry(LaunchTelemetry {
+                trace: tr,
+                span_data: &span_data,
+                plan_idx: &plan_idx,
+                resident,
+                mean_wall,
+                scheduled,
+                total_ns: scheduled + global_reduction_ns,
+                global_reduction_ns,
+                global_reductions,
+                gmem: &gmem_total,
+                smem: &smem_total,
+                n_sampled,
+                block_reductions,
+                steps,
+                active_lane_steps,
+                warp_size: device.warp_size,
+            });
+        }
         KernelResult {
             grid_blocks,
             threads_per_block,
@@ -267,6 +336,108 @@ impl<'d> KernelSim<'d> {
             warp_size: device.warp_size,
         }
     }
+}
+
+/// Everything [`emit_launch_telemetry`] needs from a finished launch.
+struct LaunchTelemetry<'a> {
+    trace: &'a TraceConfig,
+    span_data: &'a [(f64, f64, Vec<f64>)],
+    plan_idx: &'a [usize],
+    resident: usize,
+    mean_wall: f64,
+    scheduled: f64,
+    total_ns: f64,
+    global_reduction_ns: f64,
+    global_reductions: u64,
+    gmem: &'a AccessStats,
+    smem: &'a AccessStats,
+    n_sampled: usize,
+    block_reductions: u64,
+    steps: u64,
+    active_lane_steps: u64,
+    warp_size: u32,
+}
+
+/// Emits one traced launch's counters and spans.
+///
+/// Runs on the caller thread after the plan-order merge, so everything it
+/// records is a pure function of the (worker-count-invariant) merged
+/// results. Sampled block `k` with grid index `g` is placed at wave
+/// `g / resident` on track `g % resident` — the same wave-scheduling model
+/// `finish` uses for kernel time — with its warps stacked flame-style under
+/// it and the trailing block reduction marked separately.
+fn emit_launch_telemetry(t: LaunchTelemetry<'_>) {
+    let sink = &t.trace.sink;
+    sink.name_process(PID_GPU, "gpu-sim");
+    sink.add(Counter::KernelLaunches, 1);
+    sink.add(Counter::SimulatedBlocks, t.n_sampled as u64);
+    sink.add(Counter::GmemTransactions, t.gmem.transactions);
+    sink.add(Counter::GmemRequestedBytes, t.gmem.requested_bytes);
+    sink.add(Counter::GmemFetchedBytes, t.gmem.fetched_bytes);
+    sink.add(
+        Counter::GmemUncoalescedBytes,
+        t.gmem.fetched_bytes.saturating_sub(t.gmem.requested_bytes),
+    );
+    sink.add(Counter::SmemBytes, t.smem.fetched_bytes);
+    sink.add(Counter::BlockReductions, t.block_reductions);
+    sink.add(Counter::GlobalReductions, t.global_reductions);
+    sink.add(
+        Counter::DivergenceStallLaneSteps,
+        (t.steps * u64::from(t.warp_size)).saturating_sub(t.active_lane_steps),
+    );
+    let t0 = t.trace.t0_ns;
+    let n_events: usize = 2 + t.span_data.iter().map(|(_, _, w)| w.len() + 2).sum::<usize>();
+    let mut events = Vec::with_capacity(n_events);
+    events.push(SpanEvent {
+        name: t.trace.label.clone(),
+        pid: PID_GPU,
+        tid: 0,
+        start_ns: t0,
+        dur_ns: t.total_ns,
+    });
+    if t.global_reduction_ns > 0.0 {
+        events.push(SpanEvent {
+            name: format!("{}: global reduce", t.trace.label),
+            pid: PID_GPU,
+            tid: 0,
+            start_ns: t0 + t.scheduled,
+            dur_ns: t.global_reduction_ns,
+        });
+    }
+    let resident = t.resident.max(1);
+    for (k, (wall, reduction_ns, warp_serials)) in t.span_data.iter().enumerate() {
+        let g = t.plan_idx.get(k).copied().unwrap_or(k);
+        let wave = g / resident;
+        // Track 0 is the kernel's own; block slots start at 1.
+        let tid = (g % resident) as u32 + 1;
+        let start = t0 + wave as f64 * t.mean_wall;
+        events.push(SpanEvent {
+            name: format!("block {g}"),
+            pid: PID_GPU,
+            tid,
+            start_ns: start,
+            dur_ns: *wall,
+        });
+        for (w, serial) in warp_serials.iter().enumerate() {
+            events.push(SpanEvent {
+                name: format!("block {g} warp {w}"),
+                pid: PID_GPU,
+                tid,
+                start_ns: start,
+                dur_ns: *serial,
+            });
+        }
+        if *reduction_ns > 0.0 {
+            events.push(SpanEvent {
+                name: format!("block {g} reduce"),
+                pid: PID_GPU,
+                tid,
+                start_ns: start + wall - reduction_ns,
+                dur_ns: *reduction_ns,
+            });
+        }
+    }
+    sink.push_spans(events);
 }
 
 /// Completed-kernel summary.

@@ -26,6 +26,8 @@
 //! - [`metrics`] — CV / A.C.V. imbalance statistics.
 //! - [`parallel`] — host-side parallel map for simulation work
 //!   (`TAHOE_SIM_THREADS` overrides the worker count).
+//! - [`telemetry`] — span recorder, typed counter registry, and Chrome
+//!   trace / metrics-snapshot export (zero-cost when disabled).
 //!
 //! # Examples
 //!
@@ -63,6 +65,7 @@ pub mod multigpu;
 pub mod occupancy;
 pub mod parallel;
 pub mod reduction;
+pub mod telemetry;
 pub mod warp;
 
 pub use block::{BlockResult, BlockSim};
@@ -72,4 +75,5 @@ pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
 pub use memory::{DeviceMemory, GlobalBuffer, OomError, ALLOC_ALIGN};
 pub use microbench::{measure, MeasuredParams};
 pub use parallel::{parallel_map, set_sim_threads, sim_threads};
+pub use telemetry::{Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink};
 pub use warp::{LevelStats, WarpResult, WarpSim, MAX_WARP_LANES};

@@ -18,6 +18,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceSpec;
+use crate::telemetry::{Counter, TelemetrySink};
 
 /// Base of the simulated global address space (arbitrary, non-zero so that
 /// address arithmetic bugs surface as wild addresses rather than plausible
@@ -77,6 +78,9 @@ pub struct DeviceMemory {
     /// Free spans below the frontier: base → aligned span size. Adjacent
     /// entries are always merged.
     free_list: BTreeMap<u64, u64>,
+    /// Telemetry sink mirroring alloc/free/OOM activity and the in-use /
+    /// high-water gauges ([`TelemetrySink::Disabled`] by default: no-ops).
+    sink: TelemetrySink,
 }
 
 impl Default for DeviceMemory {
@@ -104,7 +108,19 @@ impl DeviceMemory {
             capacity,
             live: BTreeMap::new(),
             free_list: BTreeMap::new(),
+            sink: TelemetrySink::Disabled,
         }
+    }
+
+    /// Mirrors this allocator's activity into `sink`: successful allocations
+    /// and frees bump [`Counter::DeviceAllocs`] / [`Counter::DeviceFrees`],
+    /// failed requests bump [`Counter::DeviceOomEvents`], and the
+    /// [`Counter::AllocInUseBytes`] / [`Counter::AllocHighWaterBytes`]
+    /// gauges track the footprint.
+    pub fn attach_telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.clone();
+        self.sink.set(Counter::AllocInUseBytes, self.in_use);
+        self.sink.max(Counter::AllocHighWaterBytes, self.high_water);
     }
 
     /// A fresh address space sized to a device's DRAM.
@@ -122,9 +138,13 @@ impl DeviceMemory {
     pub fn try_alloc(&mut self, bytes: u64) -> Result<GlobalBuffer, OomError> {
         let span = match bytes.checked_add(ALLOC_ALIGN - 1) {
             Some(v) => v / ALLOC_ALIGN * ALLOC_ALIGN,
-            None => return Err(self.oom(bytes)),
+            None => {
+                self.sink.add(Counter::DeviceOomEvents, 1);
+                return Err(self.oom(bytes));
+            }
         };
         if span > self.capacity.saturating_sub(self.in_use) {
+            self.sink.add(Counter::DeviceOomEvents, 1);
             return Err(self.oom(bytes));
         }
         if span == 0 {
@@ -159,6 +179,9 @@ impl DeviceMemory {
         self.in_use += span;
         self.high_water = self.high_water.max(self.in_use);
         self.allocated += bytes;
+        self.sink.add(Counter::DeviceAllocs, 1);
+        self.sink.set(Counter::AllocInUseBytes, self.in_use);
+        self.sink.max(Counter::AllocHighWaterBytes, self.high_water);
         Ok(GlobalBuffer { base, bytes })
     }
 
@@ -190,6 +213,8 @@ impl DeviceMemory {
             .remove(&buf.base)
             .expect("simulated double-free or foreign buffer");
         self.in_use -= span;
+        self.sink.add(Counter::DeviceFrees, 1);
+        self.sink.set(Counter::AllocInUseBytes, self.in_use);
         let mut base = buf.base;
         let mut size = span;
         // Merge with the free neighbor below.

@@ -1,0 +1,490 @@
+//! Unified telemetry: span recording, typed counters, and trace export.
+//!
+//! The simulator computes hardware-counter-style evidence (coalescing
+//! efficiency, reduction share, imbalance) in result structs, but those are
+//! per-launch aggregates — there is no way to see *one request's* timeline
+//! end to end. This module adds that observability substrate:
+//!
+//! - [`TelemetrySink`] — a cheaply cloneable handle that layers (kernel
+//!   scheduler, device allocator, engine, serving simulator) record into.
+//!   The [`TelemetrySink::Disabled`] variant compiles every recording call
+//!   to an enum-tag check followed by nothing, so the hot simulation path
+//!   pays no locks, no allocation, and no branch-heavy bookkeeping when
+//!   telemetry is off.
+//! - [`Counter`] / [`CounterRegistry`] — a typed registry of monotonic
+//!   counters (plus two gauge-style entries maintained with `set`/`max`),
+//!   stored as a fixed array so increments are a single indexed add.
+//! - [`SpanEvent`] — a flat span (name, track, start, duration) in
+//!   *simulated* nanoseconds; exported as Chrome trace-event JSON
+//!   ([`TelemetrySink::chrome_trace_json`]) loadable in Perfetto /
+//!   `chrome://tracing`, one process per layer and one track per concurrent
+//!   block slot.
+//! - [`MetricsSnapshot`] — a flat, serde-round-trippable snapshot of the
+//!   counters for `report_md` and regression dashboards
+//!   ([`TelemetrySink::metrics_json`]).
+//!
+//! # Determinism
+//!
+//! Span and counter emission for simulated work happens in
+//! `KernelSim::finish`, *after* `simulate_blocks` has merged per-block
+//! results in plan order — worker threads never touch the sink. Exported
+//! traces and snapshots are therefore byte-identical at any
+//! `TAHOE_SIM_THREADS` (pinned by `tests/determinism.rs`). Host-measured
+//! engine phases (convert/rearrange/tune) are wall-clock timed and vary
+//! run to run; they live on their own process track.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Chrome-trace process id for simulated-GPU spans (kernel/block/warp).
+pub const PID_GPU: u32 = 1;
+/// Chrome-trace process id for host-side engine spans (convert/tune/infer).
+pub const PID_ENGINE: u32 = 2;
+/// Chrome-trace process id for serving-simulation spans (queue/execute).
+pub const PID_SERVING: u32 = 3;
+
+/// Typed telemetry counters.
+///
+/// Discriminants index [`CounterRegistry`]'s fixed array; keep them dense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Global-memory transactions issued by sampled blocks.
+    GmemTransactions,
+    /// Bytes the warp lanes asked for (coalesced ideal).
+    GmemRequestedBytes,
+    /// Bytes the memory system actually moved.
+    GmemFetchedBytes,
+    /// Fetched minus requested: traffic wasted on uncoalesced access.
+    GmemUncoalescedBytes,
+    /// Shared-memory bytes moved by sampled blocks.
+    SmemBytes,
+    /// Block-wide reduction operations in sampled blocks.
+    BlockReductions,
+    /// Device-wide segmented reductions.
+    GlobalReductions,
+    /// Idle lane-steps in sampled warps (divergence stalls):
+    /// `steps × warp_size − active_lane_steps`.
+    DivergenceStallLaneSteps,
+    /// Kernel launches traced.
+    KernelLaunches,
+    /// Blocks simulated in detail.
+    SimulatedBlocks,
+    /// Successful simulated-device allocations.
+    DeviceAllocs,
+    /// Simulated-device frees.
+    DeviceFrees,
+    /// Allocation failures (simulated OOM).
+    DeviceOomEvents,
+    /// Gauge: aligned device bytes currently live (maintained with `set`).
+    AllocInUseBytes,
+    /// Gauge: high-water in-use footprint (maintained with `max`).
+    AllocHighWaterBytes,
+    /// Batches the engine inferred.
+    EngineBatches,
+    /// Batches the engine had to chunk-split to fit device DRAM.
+    EngineChunkSplits,
+    /// Sampled blocks that contributed to the A.C.V. statistic.
+    AcvBlocksCounted,
+    /// Sampled blocks skipped by the A.C.V. statistic (< 2 busy threads).
+    AcvBlocksSkipped,
+    /// Batches the serving simulator dispatched.
+    ServingBatches,
+    /// Requests the serving simulator served.
+    ServingRequests,
+}
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; 21] = [
+        Counter::GmemTransactions,
+        Counter::GmemRequestedBytes,
+        Counter::GmemFetchedBytes,
+        Counter::GmemUncoalescedBytes,
+        Counter::SmemBytes,
+        Counter::BlockReductions,
+        Counter::GlobalReductions,
+        Counter::DivergenceStallLaneSteps,
+        Counter::KernelLaunches,
+        Counter::SimulatedBlocks,
+        Counter::DeviceAllocs,
+        Counter::DeviceFrees,
+        Counter::DeviceOomEvents,
+        Counter::AllocInUseBytes,
+        Counter::AllocHighWaterBytes,
+        Counter::EngineBatches,
+        Counter::EngineChunkSplits,
+        Counter::AcvBlocksCounted,
+        Counter::AcvBlocksSkipped,
+        Counter::ServingBatches,
+        Counter::ServingRequests,
+    ];
+
+    /// Snake-case name used in the metrics snapshot.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::GmemTransactions => "gmem_transactions",
+            Counter::GmemRequestedBytes => "gmem_requested_bytes",
+            Counter::GmemFetchedBytes => "gmem_fetched_bytes",
+            Counter::GmemUncoalescedBytes => "gmem_uncoalesced_bytes",
+            Counter::SmemBytes => "smem_bytes",
+            Counter::BlockReductions => "block_reductions",
+            Counter::GlobalReductions => "global_reductions",
+            Counter::DivergenceStallLaneSteps => "divergence_stall_lane_steps",
+            Counter::KernelLaunches => "kernel_launches",
+            Counter::SimulatedBlocks => "simulated_blocks",
+            Counter::DeviceAllocs => "device_allocs",
+            Counter::DeviceFrees => "device_frees",
+            Counter::DeviceOomEvents => "device_oom_events",
+            Counter::AllocInUseBytes => "alloc_in_use_bytes",
+            Counter::AllocHighWaterBytes => "alloc_high_water_bytes",
+            Counter::EngineBatches => "engine_batches",
+            Counter::EngineChunkSplits => "engine_chunk_splits",
+            Counter::AcvBlocksCounted => "acv_blocks_counted",
+            Counter::AcvBlocksSkipped => "acv_blocks_skipped",
+            Counter::ServingBatches => "serving_batches",
+            Counter::ServingRequests => "serving_requests",
+        }
+    }
+}
+
+/// Fixed-size registry of every [`Counter`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    values: [u64; Counter::ALL.len()],
+}
+
+impl CounterRegistry {
+    /// Current value of a counter.
+    #[must_use]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Adds `n` to a monotonic counter.
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.values[c as usize] += n;
+    }
+
+    /// Overwrites a gauge-style entry.
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.values[c as usize] = v;
+    }
+
+    /// Raises a gauge-style entry to at least `v`.
+    pub fn max(&mut self, c: Counter, v: u64) {
+        let slot = &mut self.values[c as usize];
+        *slot = (*slot).max(v);
+    }
+
+    /// Name → value map (sorted; the snapshot's serialization order).
+    #[must_use]
+    pub fn to_map(&self) -> BTreeMap<String, u64> {
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), self.get(c)))
+            .collect()
+    }
+}
+
+/// One completed span on the simulated (or host) timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Human-readable span name (the Chrome trace `name`).
+    pub name: String,
+    /// Process track (one per layer; see [`PID_GPU`] etc.).
+    pub pid: u32,
+    /// Thread track within the process (e.g. one per concurrent block slot).
+    pub tid: u32,
+    /// Start time in nanoseconds on the track's timeline.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub dur_ns: f64,
+}
+
+/// Flat metrics snapshot — the machine-readable export `report_md` digests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Spans recorded alongside the counters.
+    pub span_count: usize,
+}
+
+impl MetricsSnapshot {
+    /// Global-load efficiency derived from the counters
+    /// (requested / fetched; 1.0 when nothing was fetched).
+    #[must_use]
+    pub fn gmem_efficiency(&self) -> f64 {
+        let requested = self.counters.get("gmem_requested_bytes").copied().unwrap_or(0);
+        let fetched = self.counters.get("gmem_fetched_bytes").copied().unwrap_or(0);
+        if fetched == 0 {
+            1.0
+        } else {
+            requested as f64 / fetched as f64
+        }
+    }
+}
+
+/// Shared state behind a recording sink.
+#[derive(Debug, Default)]
+pub struct SinkInner {
+    counters: Mutex<CounterRegistry>,
+    spans: Mutex<Vec<SpanEvent>>,
+    process_names: Mutex<BTreeMap<u32, String>>,
+}
+
+/// Telemetry recording handle.
+///
+/// Cloning is cheap (`Disabled` is a unit; `Recording` clones an [`Arc`]),
+/// so every layer holds its own handle to one shared recording. All methods
+/// are no-ops on [`TelemetrySink::Disabled`].
+#[derive(Clone, Debug, Default)]
+pub enum TelemetrySink {
+    /// Record nothing; every call is a no-op.
+    #[default]
+    Disabled,
+    /// Record into shared state.
+    Recording(Arc<SinkInner>),
+}
+
+impl TelemetrySink {
+    /// A fresh recording sink.
+    #[must_use]
+    pub fn recording() -> Self {
+        TelemetrySink::Recording(Arc::new(SinkInner::default()))
+    }
+
+    /// Whether this sink records anything. Layers use this to skip building
+    /// span data entirely when telemetry is off.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TelemetrySink::Recording(_))
+    }
+
+    /// Adds `n` to a monotonic counter.
+    pub fn add(&self, c: Counter, n: u64) {
+        if let TelemetrySink::Recording(inner) = self {
+            inner.counters.lock().add(c, n);
+        }
+    }
+
+    /// Overwrites a gauge-style counter.
+    pub fn set(&self, c: Counter, v: u64) {
+        if let TelemetrySink::Recording(inner) = self {
+            inner.counters.lock().set(c, v);
+        }
+    }
+
+    /// Raises a gauge-style counter to at least `v`.
+    pub fn max(&self, c: Counter, v: u64) {
+        if let TelemetrySink::Recording(inner) = self {
+            inner.counters.lock().max(c, v);
+        }
+    }
+
+    /// Records one span.
+    pub fn span(
+        &self,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        start_ns: f64,
+        dur_ns: f64,
+    ) {
+        if let TelemetrySink::Recording(inner) = self {
+            inner.spans.lock().push(SpanEvent {
+                name: name.into(),
+                pid,
+                tid,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    /// Appends a batch of spans under one lock acquisition.
+    pub fn push_spans(&self, spans: Vec<SpanEvent>) {
+        if let TelemetrySink::Recording(inner) = self {
+            inner.spans.lock().extend(spans);
+        }
+    }
+
+    /// Names a Chrome-trace process track (idempotent).
+    pub fn name_process(&self, pid: u32, name: &str) {
+        if let TelemetrySink::Recording(inner) = self {
+            inner
+                .process_names
+                .lock()
+                .entry(pid)
+                .or_insert_with(|| name.to_string());
+        }
+    }
+
+    /// Flat snapshot of the recorded counters (empty when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match self {
+            TelemetrySink::Disabled => MetricsSnapshot {
+                counters: CounterRegistry::default().to_map(),
+                span_count: 0,
+            },
+            TelemetrySink::Recording(inner) => MetricsSnapshot {
+                counters: inner.counters.lock().to_map(),
+                span_count: inner.spans.lock().len(),
+            },
+        }
+    }
+
+    /// The metrics snapshot as pretty JSON (the `--metrics <path>` payload).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the snapshot is a map of strings to
+    /// integers, which always serializes.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Exports the recorded spans as Chrome trace-event JSON (the
+    /// `--trace <path>` payload), loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// Events are stably ordered by `(pid, tid, ts, −dur)`, so timestamps are
+    /// monotone per track and enclosing spans precede enclosed ones; the
+    /// output is a pure function of the recorded spans and therefore
+    /// byte-identical however many worker threads simulated the blocks.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        let (mut spans, names) = match self {
+            TelemetrySink::Disabled => (Vec::new(), BTreeMap::new()),
+            TelemetrySink::Recording(inner) => {
+                (inner.spans.lock().clone(), inner.process_names.lock().clone())
+            }
+        };
+        spans.sort_by(|a, b| {
+            (a.pid, a.tid)
+                .cmp(&(b.pid, b.tid))
+                .then(a.start_ns.total_cmp(&b.start_ns))
+                .then(b.dur_ns.total_cmp(&a.dur_ns))
+        });
+        use serde_json::{Number, Value};
+        let str_val = |s: &str| Value::String(s.to_string());
+        let num = |x: f64| Value::Number(Number::Float(x));
+        let uint = |x: u64| Value::Number(Number::PosInt(x));
+        let mut events = Vec::with_capacity(spans.len() + names.len());
+        for (pid, name) in &names {
+            events.push(Value::Object(vec![
+                ("ph".into(), str_val("M")),
+                ("ts".into(), num(0.0)),
+                ("pid".into(), uint(u64::from(*pid))),
+                ("tid".into(), uint(0)),
+                ("name".into(), str_val("process_name")),
+                (
+                    "args".into(),
+                    Value::Object(vec![("name".into(), str_val(name))]),
+                ),
+            ]));
+        }
+        for s in &spans {
+            events.push(Value::Object(vec![
+                ("ph".into(), str_val("X")),
+                ("ts".into(), num(s.start_ns / 1_000.0)),
+                ("dur".into(), num(s.dur_ns / 1_000.0)),
+                ("pid".into(), uint(u64::from(s.pid))),
+                ("tid".into(), uint(u64::from(s.tid))),
+                ("name".into(), str_val(&s.name)),
+            ]));
+        }
+        let doc = Value::Object(vec![
+            ("traceEvents".into(), Value::Array(events)),
+            ("displayTimeUnit".into(), str_val("ns")),
+        ]);
+        let mut text = serde_json::to_string_pretty(&doc).expect("trace serializes");
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TelemetrySink::Disabled;
+        sink.add(Counter::KernelLaunches, 5);
+        sink.span("x", PID_GPU, 0, 0.0, 1.0);
+        assert!(!sink.is_enabled());
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters["kernel_launches"], 0);
+        assert_eq!(snap.span_count, 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let sink = TelemetrySink::recording();
+        sink.add(Counter::GmemFetchedBytes, 128);
+        sink.add(Counter::GmemFetchedBytes, 64);
+        sink.add(Counter::GmemRequestedBytes, 96);
+        sink.set(Counter::AllocInUseBytes, 1000);
+        sink.max(Counter::AllocHighWaterBytes, 2000);
+        sink.max(Counter::AllocHighWaterBytes, 500);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters["gmem_fetched_bytes"], 192);
+        assert_eq!(snap.counters["alloc_in_use_bytes"], 1000);
+        assert_eq!(snap.counters["alloc_high_water_bytes"], 2000);
+        assert!((snap.gmem_efficiency() - 0.5).abs() < 1e-12);
+        // Every declared counter appears in the snapshot.
+        assert_eq!(snap.counters.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn clones_share_one_recording() {
+        let a = TelemetrySink::recording();
+        let b = a.clone();
+        b.add(Counter::ServingRequests, 7);
+        assert_eq!(a.snapshot().counters["serving_requests"], 7);
+    }
+
+    #[test]
+    fn chrome_trace_sorts_tracks_and_nests_spans() {
+        let sink = TelemetrySink::recording();
+        sink.name_process(PID_GPU, "gpu-sim");
+        // Inserted out of order; the child (shorter) span shares its
+        // parent's start.
+        sink.span("child", PID_GPU, 2, 10_000.0, 1_000.0);
+        sink.span("parent", PID_GPU, 2, 10_000.0, 5_000.0);
+        sink.span("earlier", PID_GPU, 1, 0.0, 2_000.0);
+        let text = sink.chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 4); // 1 metadata + 3 spans
+        assert_eq!(events[0]["ph"].as_str(), Some("M"));
+        let spans: Vec<&serde_json::Value> =
+            events.iter().filter(|e| e["ph"].as_str() == Some("X")).collect();
+        assert_eq!(spans[0]["name"].as_str(), Some("earlier"));
+        // Longer span first at equal ts.
+        assert_eq!(spans[1]["name"].as_str(), Some("parent"));
+        assert_eq!(spans[2]["name"].as_str(), Some("child"));
+        // Timestamps are microseconds.
+        assert!((spans[1]["ts"].as_f64().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_through_serde() {
+        let sink = TelemetrySink::recording();
+        sink.add(Counter::EngineBatches, 3);
+        sink.span("s", PID_ENGINE, 0, 1.0, 2.0);
+        let snap = sink.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -22,6 +22,7 @@ use crate::perfmodel::{ModelInputs, Prediction};
 use crate::rearrange::{self, RearrangeReport, SimilarityParams};
 use crate::strategy::common::THREADS_PER_BLOCK;
 use crate::strategy::{self, LaunchContext, Strategy, StrategyRun};
+use crate::telemetry::{Counter, TelemetryCtx, TelemetrySink, PID_ENGINE};
 use crate::tune;
 
 /// Which of Tahoe's techniques an engine applies (the knobs behind the
@@ -142,6 +143,17 @@ pub struct Engine {
     sample_buf: Option<GlobalBuffer>,
     conversion: ConversionReport,
     counter: Option<EdgeCounter>,
+    /// Telemetry recording handle ([`TelemetrySink::Disabled`] via
+    /// [`Engine::new`]; a live sink via [`Engine::with_telemetry`]).
+    sink: TelemetrySink,
+    /// Simulated-timeline cursor: each batch's kernel spans start here, and
+    /// the cursor advances by the kernel's simulated duration so consecutive
+    /// batches lay out end to end in the exported trace. The serving
+    /// simulator overrides it per dispatch via [`Engine::set_sim_clock_ns`].
+    clock_ns: f64,
+    /// Host-phase cursor for the engine track's wall-clock-measured spans
+    /// (rearrange/convert/tune), laid out sequentially.
+    host_cursor_ns: f64,
 }
 
 impl Engine {
@@ -152,9 +164,27 @@ impl Engine {
     /// Panics if the device spec fails validation.
     #[must_use]
     pub fn new(device: DeviceSpec, forest: Forest, options: EngineOptions) -> Self {
+        Self::with_telemetry(device, forest, options, TelemetrySink::Disabled)
+    }
+
+    /// As [`Engine::new`], recording spans and counters into `sink` — the
+    /// construction-time conversion, the simulated allocator, every kernel
+    /// launch, and the per-batch engine phases all report into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device spec fails validation.
+    #[must_use]
+    pub fn with_telemetry(
+        device: DeviceSpec,
+        forest: Forest,
+        options: EngineOptions,
+        sink: TelemetrySink,
+    ) -> Self {
         device.validate().expect("valid device spec");
         let hw = measure(&device);
-        let mem = DeviceMemory::for_device(&device);
+        let mut mem = DeviceMemory::for_device(&device);
+        mem.attach_telemetry(&sink);
         let mut engine = Self {
             stats: forest.stats(),
             device,
@@ -167,6 +197,9 @@ impl Engine {
             sample_buf: None,
             conversion: ConversionReport::default(),
             counter: None,
+            sink,
+            clock_ns: 0.0,
+            host_cursor_ns: 0.0,
         };
         if engine.options.track_probabilities {
             engine.counter = Some(EdgeCounter::new(&engine.forest));
@@ -233,7 +266,22 @@ impl Engine {
         self.forest_buf = Some(self.device_forest.buffer());
         report.convert_ns = t0.elapsed().as_nanos() as u64;
         self.stats = self.forest.stats();
+        if self.sink.is_enabled() {
+            self.sink.name_process(PID_ENGINE, "engine");
+            let rearrange_ns = report.rearrange.total_ns() as f64;
+            if rearrange_ns > 0.0 {
+                self.host_span("rearrange", rearrange_ns);
+            }
+            self.host_span("convert", report.convert_ns as f64);
+        }
         self.conversion = report;
+    }
+
+    /// Emits one wall-clock-measured engine-phase span and advances the host
+    /// cursor so phases tile the engine track in execution order.
+    fn host_span(&mut self, name: &str, dur_ns: f64) {
+        self.sink.span(name, PID_ENGINE, 0, self.host_cursor_ns, dur_ns);
+        self.host_cursor_ns += dur_ns;
     }
 
     /// Runs inference on a batch, selecting the strategy via the performance
@@ -306,6 +354,7 @@ impl Engine {
             sample_buf,
             detail: self.options.detail,
             block_threads: THREADS_PER_BLOCK,
+            telemetry: TelemetryCtx { sink: &self.sink, t0_ns: self.clock_ns },
         };
         let inputs = ModelInputs::gather(&self.device_forest, &self.stats, samples);
         // Model evaluation: tune each feasible strategy's block size
@@ -340,6 +389,19 @@ impl Engine {
         };
         let run = strategy::run(strategy, &run_ctx)
             .unwrap_or_else(|| panic!("strategy {strategy} infeasible for this forest/device"));
+        self.sink.add(Counter::EngineBatches, 1);
+        if self.sink.is_enabled() {
+            self.sink.name_process(PID_ENGINE, "engine");
+            self.host_span("tune", model_eval_ns as f64);
+            self.sink.span(
+                format!("infer: {} ({} samples)", strategy.name(), samples.n_samples()),
+                PID_ENGINE,
+                1,
+                self.clock_ns,
+                run.kernel.total_ns,
+            );
+        }
+        self.clock_ns += run.kernel.total_ns;
         let predictions = if self.options.functional {
             self.device_forest.predict_batch(samples)
         } else {
@@ -383,6 +445,7 @@ impl Engine {
             "device DRAM cannot hold even one sample alongside the forest image"
         );
         let n = samples.n_samples();
+        let split_t0 = self.clock_ns;
         let mut merged: Option<InferenceResult> = None;
         let mut chunks = 0usize;
         let mut start = 0usize;
@@ -406,6 +469,14 @@ impl Engine {
         out.chunks = chunks;
         out.mem_in_use_bytes = self.mem.in_use_bytes();
         out.mem_high_water_bytes = self.mem.high_water_bytes();
+        self.sink.add(Counter::EngineChunkSplits, 1);
+        self.sink.span(
+            format!("chunked infer ({chunks} chunks, OOM retry)"),
+            PID_ENGINE,
+            2,
+            split_t0,
+            self.clock_ns - split_t0,
+        );
         out
     }
 
@@ -434,8 +505,30 @@ impl Engine {
             },
             detail: Detail::Sampled(1),
             block_threads: THREADS_PER_BLOCK,
+            telemetry: TelemetryCtx::disabled(),
         };
         strategy::geometry(strategy, &ctx).is_some()
+    }
+
+    /// The engine's telemetry sink (disabled unless constructed via
+    /// [`Engine::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
+    }
+
+    /// Current position on the simulated timeline (ns): the sum of every
+    /// inferred batch's simulated kernel time, unless overridden.
+    #[must_use]
+    pub fn sim_clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// Repositions the simulated-timeline cursor. The serving simulator sets
+    /// this to each batch's dispatch time so kernel spans land where the
+    /// batch actually ran.
+    pub fn set_sim_clock_ns(&mut self, t_ns: f64) {
+        self.clock_ns = t_ns;
     }
 
     /// Replaces the forest (incremental learning, §4.2/§6.2): re-measures

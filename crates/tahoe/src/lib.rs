@@ -16,6 +16,9 @@
 //! - [`engine`] — the adaptive engine (Algorithm 1) and the FIL-equivalent
 //!   baseline.
 //! - [`metrics`] — throughput / imbalance metrics used by the evaluation.
+//! - [`telemetry`] — span/counter recording across all layers, exported as
+//!   Chrome trace JSON and flat metrics snapshots (see `gpu-sim`'s
+//!   `telemetry` module for the substrate).
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ pub mod perfmodel;
 pub mod rearrange;
 pub mod serving;
 pub mod strategy;
+pub mod telemetry;
 pub mod tune;
 
 pub use engine::{Engine, EngineOptions, InferenceResult};
@@ -50,3 +54,4 @@ pub use format::{DeviceForest, FormatConfig, LayoutPlan};
 pub use perfmodel::{ModelInputs, Prediction};
 pub use rearrange::{adaptive_plan, similarity_order, SimilarityParams};
 pub use strategy::{LaunchContext, Strategy, StrategyRun};
+pub use telemetry::{Counter, MetricsSnapshot, TelemetryCtx, TelemetrySink};

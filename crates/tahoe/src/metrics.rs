@@ -3,6 +3,8 @@
 use tahoe_gpu_sim::kernel::KernelResult;
 use tahoe_gpu_sim::metrics::coefficient_of_variation;
 
+use crate::telemetry::{Counter, TelemetrySink};
+
 /// Average coefficient of variation of per-thread busy time across the
 /// sampled blocks (Table 3's "A.C.V.").
 ///
@@ -11,16 +13,30 @@ use tahoe_gpu_sim::metrics::coefficient_of_variation;
 /// paper's per-thread measurements (Fig. 2c) cover working threads.
 #[must_use]
 pub fn thread_acv(kernel: &KernelResult) -> f64 {
+    thread_acv_with_sink(kernel, &TelemetrySink::Disabled)
+}
+
+/// As [`thread_acv`], reporting coverage into `sink`: blocks with at least
+/// two busy threads bump [`Counter::AcvBlocksCounted`]; blocks the statistic
+/// skips (fewer than two busy threads — previously dropped silently) bump
+/// [`Counter::AcvBlocksSkipped`], so Table 3 can report how much of the
+/// sample the A.C.V. actually covers.
+#[must_use]
+pub fn thread_acv_with_sink(kernel: &KernelResult, sink: &TelemetrySink) -> f64 {
     let mut sum = 0.0f64;
     let mut n = 0usize;
+    let mut skipped = 0u64;
     for block in &kernel.thread_busy_per_block {
         let busy: Vec<f64> = block.iter().copied().filter(|&b| b > 0.0).collect();
         if busy.len() < 2 {
+            skipped += 1;
             continue;
         }
         sum += coefficient_of_variation(&busy);
         n += 1;
     }
+    sink.add(Counter::AcvBlocksCounted, n as u64);
+    sink.add(Counter::AcvBlocksSkipped, skipped);
     if n == 0 {
         0.0
     } else {
@@ -77,6 +93,24 @@ mod tests {
         let acv = thread_acv(&r.kernel);
         assert!(acv > 0.0, "depth-jittered forests must show imbalance");
         assert!(acv < 3.0, "CV {acv} looks corrupted");
+    }
+
+    #[test]
+    fn acv_coverage_counters_split_counted_and_skipped() {
+        let fx = Fixture::trained("higgs");
+        let r = run(Strategy::SharedData, &context(&fx, Detail::Sampled(4))).unwrap();
+        let sink = TelemetrySink::recording();
+        let with_sink = thread_acv_with_sink(&r.kernel, &sink);
+        assert_eq!(with_sink, thread_acv(&r.kernel), "sink must not change the statistic");
+        let snap = sink.snapshot();
+        let counted = snap.counters["acv_blocks_counted"];
+        let skipped = snap.counters["acv_blocks_skipped"];
+        assert_eq!(
+            counted + skipped,
+            r.kernel.thread_busy_per_block.len() as u64,
+            "every sampled block is either counted or skipped"
+        );
+        assert!(counted > 0, "traversal blocks have busy threads");
     }
 
     #[test]

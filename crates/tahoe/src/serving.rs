@@ -12,10 +12,13 @@
 //! request times out, the batch runs on the simulated GPU, and per-request
 //! latency statistics accumulate. Everything is deterministic.
 
+use std::sync::OnceLock;
+
 use tahoe_datasets::SampleMatrix;
 
 use crate::engine::Engine;
 use crate::strategy::Strategy;
+use crate::telemetry::{Counter, PID_SERVING};
 
 /// Dynamic-batching policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,9 +78,31 @@ pub struct ServingReport {
     pub makespan_ns: f64,
     /// High-water simulated device-memory footprint over the trace (bytes).
     pub mem_high_water_bytes: u64,
+    /// Lazily sorted copy of `latencies_ns` backing the percentile queries
+    /// (sorted once on first use instead of on every call). Mutating
+    /// `latencies_ns` after a percentile query would go unnoticed — build a
+    /// fresh report instead.
+    sorted_latencies: OnceLock<Vec<f64>>,
 }
 
 impl ServingReport {
+    /// Assembles a report from a replayed trace.
+    #[must_use]
+    pub fn new(
+        batches: Vec<BatchRecord>,
+        latencies_ns: Vec<f64>,
+        makespan_ns: f64,
+        mem_high_water_bytes: u64,
+    ) -> Self {
+        Self {
+            batches,
+            latencies_ns,
+            makespan_ns,
+            mem_high_water_bytes,
+            sorted_latencies: OnceLock::new(),
+        }
+    }
+
     /// Requests served.
     #[must_use]
     pub fn n_requests(&self) -> usize {
@@ -104,8 +129,11 @@ impl ServingReport {
         if self.latencies_ns.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let sorted = self.sorted_latencies.get_or_init(|| {
+            let mut sorted = self.latencies_ns.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            sorted
+        });
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
     }
@@ -166,6 +194,8 @@ impl<'e> ServingSim<'e> {
         assert!(samples.n_samples() > 0, "need request payloads");
         assert!(n_requests > 0, "need at least one request");
         let n_payloads = samples.n_samples();
+        let sink = self.engine.telemetry().clone();
+        sink.name_process(PID_SERVING, "serving");
         let mut batches = Vec::new();
         let mut latencies = vec![0.0f64; n_requests];
         let mut gpu_free_at = 0.0f64;
@@ -179,7 +209,10 @@ impl<'e> ServingSim<'e> {
             let full_at =
                 (first + self.policy.max_batch - 1).min(n_requests - 1) as f64 * interarrival_ns;
             let deadline = first_arrival + self.policy.max_delay_ns;
-            let dispatch_at = full_at.min(deadline).max(first_arrival).max(gpu_free_at);
+            // The policy is ready to dispatch at `ready_at`; an earlier batch
+            // still on the GPU delays the actual dispatch past it.
+            let ready_at = full_at.min(deadline).max(first_arrival);
+            let dispatch_at = ready_at.max(gpu_free_at);
             // Everything that has arrived by the dispatch instant (capped at
             // max_batch) rides this batch. Float division alone can land one
             // index low when `dispatch_at` sits exactly on an arrival
@@ -200,9 +233,40 @@ impl<'e> ServingSim<'e> {
             let size = last - first;
             let rows: Vec<usize> = (first..last).map(|r| r % n_payloads).collect();
             let batch = samples.select(&rows);
+            // Pin the engine's simulated clock to the dispatch instant so the
+            // batch's kernel/engine spans land where the batch actually ran.
+            self.engine.set_sim_clock_ns(dispatch_at);
             let result = self.engine.infer(&batch);
             let gpu_ns = result.run.kernel.total_ns;
             let finished_at = dispatch_at + gpu_ns;
+            sink.add(Counter::ServingBatches, 1);
+            sink.add(Counter::ServingRequests, size as u64);
+            if sink.is_enabled() {
+                let idx = batches.len();
+                sink.span(
+                    format!("batch {idx}: form ({size} requests)"),
+                    PID_SERVING,
+                    0,
+                    first_arrival,
+                    ready_at - first_arrival,
+                );
+                if dispatch_at > ready_at {
+                    sink.span(
+                        format!("batch {idx}: queue wait (GPU busy)"),
+                        PID_SERVING,
+                        1,
+                        ready_at,
+                        dispatch_at - ready_at,
+                    );
+                }
+                sink.span(
+                    format!("batch {idx}: execute ({})", result.strategy.name()),
+                    PID_SERVING,
+                    2,
+                    dispatch_at,
+                    gpu_ns,
+                );
+            }
             for (i, lat) in latencies
                 .iter_mut()
                 .enumerate()
@@ -223,12 +287,12 @@ impl<'e> ServingSim<'e> {
             gpu_free_at = finished_at;
             next_request = last;
         }
-        ServingReport {
+        ServingReport::new(
             batches,
-            latencies_ns: latencies,
-            makespan_ns: gpu_free_at,
-            mem_high_water_bytes: self.engine.memory().high_water_bytes(),
-        }
+            latencies,
+            gpu_free_at,
+            self.engine.memory().high_water_bytes(),
+        )
     }
 }
 
@@ -345,6 +409,50 @@ mod tests {
             assert_eq!(b.chunks, 1);
             assert!(b.mem_in_use_bytes > 0);
         }
+    }
+
+    #[test]
+    fn percentile_edges_and_empty_report() {
+        let empty = ServingReport::new(Vec::new(), Vec::new(), 0.0, 0);
+        assert_eq!(empty.latency_percentile_ns(0.0), 0.0);
+        assert_eq!(empty.latency_percentile_ns(1.0), 0.0);
+        let r = ServingReport::new(Vec::new(), vec![30.0, 10.0, 20.0], 1.0, 0);
+        assert_eq!(r.latency_percentile_ns(0.0), 10.0);
+        assert_eq!(r.latency_percentile_ns(0.5), 20.0);
+        assert_eq!(r.latency_percentile_ns(1.0), 30.0);
+        // The cached sort answers repeat queries consistently.
+        assert_eq!(r.latency_percentile_ns(1.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let r = ServingReport::new(Vec::new(), vec![1.0], 1.0, 0);
+        let _ = r.latency_percentile_ns(1.5);
+    }
+
+    #[test]
+    fn serving_telemetry_counts_requests_and_batches() {
+        use crate::telemetry::TelemetrySink;
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let options = EngineOptions {
+            functional: false,
+            ..EngineOptions::tahoe()
+        };
+        let sink = TelemetrySink::recording();
+        let mut e =
+            Engine::with_telemetry(DeviceSpec::tesla_p100(), forest, options, sink.clone());
+        let mut sim = ServingSim::new(&mut e, BatchingPolicy::low_latency());
+        let report = sim.run_uniform_trace(&infer.samples, 100, 1_000.0);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters["serving_requests"], 100);
+        assert_eq!(snap.counters["serving_batches"], report.batches.len() as u64);
+        assert_eq!(snap.counters["engine_batches"], report.batches.len() as u64);
+        assert!(snap.counters["kernel_launches"] >= report.batches.len() as u64);
+        assert!(snap.span_count > 0, "serving must record spans");
     }
 
     #[test]

@@ -4,11 +4,12 @@ use std::cell::RefCell;
 
 use tahoe_datasets::SampleMatrix;
 use tahoe_gpu_sim::device::DeviceSpec;
-use tahoe_gpu_sim::kernel::{Detail, KernelResult};
+use tahoe_gpu_sim::kernel::{Detail, KernelResult, KernelSim};
 use tahoe_gpu_sim::memory::GlobalBuffer;
 use tahoe_gpu_sim::{BlockSim, WarpSim};
 
 use crate::format::DeviceForest;
+use crate::telemetry::TelemetryCtx;
 
 /// The four inference strategies of §5.1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -80,6 +81,9 @@ pub struct LaunchContext<'a> {
     /// Threads per block (Algorithm 1 line 14 tunes this; see
     /// [`crate::tune`]). Must be a positive multiple of the warp size.
     pub block_threads: usize,
+    /// Where (and at what simulated time) this launch records telemetry.
+    /// [`TelemetryCtx::disabled`] records nothing.
+    pub telemetry: TelemetryCtx<'a>,
 }
 
 impl LaunchContext<'_> {
@@ -150,6 +154,23 @@ impl StrategyRun {
 /// Default threads per block (FIL's default; Algorithm 1 line 14 may tune
 /// it per launch).
 pub const THREADS_PER_BLOCK: usize = 256;
+
+/// Creates the kernel tracer for a strategy launch, attaching the context's
+/// telemetry so the launch shows up (as `label`) in exported traces. All four
+/// strategies go through this — keep new ones on it so their launches are
+/// observable too.
+#[must_use]
+pub fn launch_kernel<'a>(
+    ctx: &LaunchContext<'a>,
+    label: &str,
+    grid_blocks: usize,
+    threads_per_block: usize,
+    smem_per_block: usize,
+) -> KernelSim<'a> {
+    let mut sim = KernelSim::new(ctx.device, grid_blocks, threads_per_block, smem_per_block);
+    sim.set_trace(ctx.telemetry.sink, label, ctx.telemetry.t0_ns);
+    sim
+}
 
 /// Round-robin tree assignment: thread `t` owns layout trees
 /// `t, t + T, t + 2T, ...` (§2: "trees in the tree ensemble are evenly

@@ -5,11 +5,11 @@
 //! moderately coalesced (threads on the same tree at the same level), while
 //! attribute reads scatter across samples.
 
-use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
+use tahoe_gpu_sim::kernel::sample_plan;
 
 use super::common::{
-    traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy, StrategyRun,
-    TraversalConfig,
+    launch_kernel, traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy,
+    StrategyRun, TraversalConfig,
 };
 
 /// Launch geometry: one thread per sample.
@@ -42,7 +42,8 @@ pub fn run(ctx: &LaunchContext<'_>) -> StrategyRun {
         attrs_shared: false,
         tag_levels: true,
     };
-    let mut kernel = KernelSim::new(ctx.device, geo.grid_blocks, geo.threads_per_block, 0);
+    let mut kernel =
+        launch_kernel(ctx, Strategy::Direct.name(), geo.grid_blocks, geo.threads_per_block, 0);
     let plan = sample_plan(geo.grid_blocks, ctx.detail);
     kernel.simulate_blocks(&plan, |block_idx, mut block| {
         with_block_scratch(|scratch| {

@@ -135,6 +135,7 @@ pub mod testutil {
             sample_buf: fx.sample_buf,
             detail,
             block_threads: super::common::THREADS_PER_BLOCK,
+            telemetry: crate::telemetry::TelemetryCtx::disabled(),
         }
     }
 }

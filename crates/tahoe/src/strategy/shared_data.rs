@@ -14,10 +14,11 @@
 //!   never so large that the grid cannot occupy the device — a real launch
 //!   would not put a 100-sample batch into a single block.
 
-use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
+use tahoe_gpu_sim::kernel::sample_plan;
 
 use super::common::{
-    round_robin_trees, simulate_staging, Geometry, LaunchContext, Strategy, StrategyRun,
+    launch_kernel, round_robin_trees, simulate_staging, Geometry, LaunchContext, Strategy,
+    StrategyRun,
 };
 use crate::format::DeviceForest;
 
@@ -75,7 +76,7 @@ pub fn run(ctx: &LaunchContext<'_>) -> StrategyRun {
     // The reduction combines one partial per tree (threads with several trees
     // pre-accumulate), so its cost scales with min(trees, threads).
     let reduce_values = ctx.forest.n_trees().min(s.threads);
-    let mut kernel = KernelSim::new(ctx.device, s.grid, s.threads, s.smem);
+    let mut kernel = launch_kernel(ctx, Strategy::SharedData.name(), s.grid, s.threads, s.smem);
     let n_attr = ctx.samples.n_attributes();
     let plan = sample_plan(s.grid, ctx.detail);
     kernel.simulate_blocks(&plan, |block_idx, mut block| {

@@ -6,11 +6,11 @@
 //! memory; the paper ignores the (amortized) staging cost, and so do we
 //! (Eq. 6: "We ignore the time of loading the forest … easily amortized").
 
-use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
+use tahoe_gpu_sim::kernel::sample_plan;
 
 use super::common::{
-    traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy, StrategyRun,
-    TraversalConfig,
+    launch_kernel, traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy,
+    StrategyRun, TraversalConfig,
 };
 
 /// Whether the forest fits in one block's shared memory.
@@ -55,8 +55,9 @@ pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
         attrs_shared: false,
         tag_levels: false,
     };
-    let mut kernel = KernelSim::new(
-        ctx.device,
+    let mut kernel = launch_kernel(
+        ctx,
+        Strategy::SharedForest.name(),
         geo.grid_blocks,
         geo.threads_per_block,
         geo.smem_per_block,

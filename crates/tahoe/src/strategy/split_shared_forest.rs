@@ -13,12 +13,12 @@
 //! idle most of the device; the extra restaging traffic is charged honestly
 //! and appears in the performance model (Eq. 7's staging term scales by `T`).
 
-use tahoe_gpu_sim::kernel::{sample_plan, KernelSim};
+use tahoe_gpu_sim::kernel::sample_plan;
 use tahoe_gpu_sim::occupancy::concurrent_blocks;
 
 use super::common::{
-    simulate_staging, traverse_tree_warp, with_block_scratch, Geometry, LaunchContext, Strategy,
-    StrategyRun, TraversalConfig,
+    launch_kernel, simulate_staging, traverse_tree_warp, with_block_scratch, Geometry,
+    LaunchContext, Strategy, StrategyRun, TraversalConfig,
 };
 use crate::format::DeviceForest;
 
@@ -104,7 +104,13 @@ pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
         attrs_shared: false,
         tag_levels: false,
     };
-    let mut kernel = KernelSim::new(ctx.device, geo.grid_blocks, threads, smem);
+    let mut kernel = launch_kernel(
+        ctx,
+        Strategy::SplittingSharedForest.name(),
+        geo.grid_blocks,
+        threads,
+        smem,
+    );
     let plan = sample_plan(geo.grid_blocks, ctx.detail);
     kernel.simulate_blocks(&plan, |block_idx, mut block| {
         let part = parts[block_idx % n_parts].clone();

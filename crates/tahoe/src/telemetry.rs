@@ -1,0 +1,47 @@
+//! Telemetry re-exports and the strategy-launch telemetry context.
+//!
+//! The recording substrate (sink, counters, spans, exporters) lives in
+//! [`tahoe_gpu_sim::telemetry`]; this module re-exports it so engine-level
+//! code has one import path, and adds [`TelemetryCtx`] — the borrowed handle
+//! a [`crate::strategy::LaunchContext`] carries into every kernel launch.
+
+pub use tahoe_gpu_sim::telemetry::{
+    Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink, PID_ENGINE, PID_GPU,
+    PID_SERVING,
+};
+
+/// A disabled sink with `'static` lifetime, so contexts without telemetry
+/// can borrow one without owning a sink.
+static DISABLED_SINK: TelemetrySink = TelemetrySink::Disabled;
+
+/// Telemetry handle for one strategy launch: where to record, and where the
+/// launch sits on the simulated timeline (the engine advances `t0_ns` by each
+/// kernel's simulated duration so consecutive batches lay out end to end in
+/// the exported trace).
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryCtx<'a> {
+    /// Sink launches record into.
+    pub sink: &'a TelemetrySink,
+    /// Simulated-timeline origin of the launch (ns).
+    pub t0_ns: f64,
+}
+
+impl TelemetryCtx<'static> {
+    /// A context that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TelemetryCtx { sink: &DISABLED_SINK, t0_ns: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ctx_is_off() {
+        let ctx = TelemetryCtx::disabled();
+        assert!(!ctx.sink.is_enabled());
+        assert_eq!(ctx.t0_ns, 0.0);
+    }
+}

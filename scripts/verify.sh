@@ -10,6 +10,13 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 cargo test --workspace --release
 
 # The parallel block-simulation driver must be bit-identical at any worker
-# count; exercise the TAHOE_SIM_THREADS env path at 1 and 4 workers.
-TAHOE_SIM_THREADS=1 cargo test --release --test determinism
-TAHOE_SIM_THREADS=4 cargo test --release --test determinism
+# count; exercise the TAHOE_SIM_THREADS env path at 1 and 4 workers. The
+# determinism suite also pins the telemetry exports (Chrome trace + metrics
+# snapshot) byte-for-byte across worker counts; telemetry_schema keeps the
+# trace loadable by Perfetto.
+TAHOE_SIM_THREADS=1 cargo test --release --test determinism --test telemetry_schema
+TAHOE_SIM_THREADS=4 cargo test --release --test determinism --test telemetry_schema
+
+# Telemetry must be zero-cost when off: spot-check that a bench binary runs
+# with the default disabled sink (no --trace/--metrics) end-to-end.
+cargo run --release -p tahoe-bench --bin host_perf -- --scale smoke --detail 4

@@ -21,6 +21,7 @@ use tahoe_repro::datasets::{
 };
 use tahoe_repro::engine::engine::{Engine, EngineOptions};
 use tahoe_repro::engine::strategy::Strategy;
+use tahoe_repro::engine::telemetry::TelemetrySink;
 use tahoe_repro::forest::train::gbdt::{self, GbdtParams};
 use tahoe_repro::forest::train::random_forest::{self, RandomForestParams};
 use tahoe_repro::forest::train::TrainParams;
@@ -77,6 +78,8 @@ common flags:
   --batch N                inference batch size (default: whole dataset)
   --out <file>             write predictions as CSV
   --prune EPS              collapse near-constant subtrees after training
+  --trace <file.json>      write a Chrome trace (chrome://tracing, Perfetto)
+  --metrics <file.json>    write a flat telemetry counter snapshot
 ";
 
 /// Parsed `--flag value` pairs.
@@ -93,6 +96,8 @@ struct Flags {
     batch: Option<usize>,
     out: Option<PathBuf>,
     prune: Option<f32>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 impl Flags {
@@ -110,6 +115,8 @@ impl Flags {
             batch: None,
             out: None,
             prune: None,
+            trace: None,
+            metrics: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -143,6 +150,8 @@ impl Flags {
                     }
                     f.prune = Some(eps);
                 }
+                "--trace" => f.trace = Some(PathBuf::from(value()?)),
+                "--metrics" => f.metrics = Some(PathBuf::from(value()?)),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -156,6 +165,31 @@ impl Flags {
             "v100" => Ok(DeviceSpec::tesla_v100()),
             other => Err(format!("unknown device '{other}' (k80|p100|v100)")),
         }
+    }
+
+    /// Telemetry sink for the run: recording iff `--trace` or `--metrics`
+    /// was given.
+    fn sink(&self) -> TelemetrySink {
+        if self.trace.is_some() || self.metrics.is_some() {
+            TelemetrySink::recording()
+        } else {
+            TelemetrySink::Disabled
+        }
+    }
+
+    /// Writes the requested telemetry exports; no-op without the flags.
+    fn export_telemetry(&self, sink: &TelemetrySink) -> Result<(), String> {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, sink.chrome_trace_json())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote Chrome trace to {}", path.display());
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, sink.metrics_json())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote metrics snapshot to {}", path.display());
+        }
+        Ok(())
     }
 
     fn strategy(&self) -> Result<Option<Strategy>, String> {
@@ -294,7 +328,8 @@ fn cmd_infer(flags: &Flags) -> Result<(), String> {
     let device = flags.device()?;
     let force = flags.strategy()?;
     let batch = batch_samples(flags, &data);
-    let mut engine = Engine::new(device, forest, EngineOptions::tahoe());
+    let sink = flags.sink();
+    let mut engine = Engine::with_telemetry(device, forest, EngineOptions::tahoe(), sink.clone());
     if let Some(s) = force {
         if !engine.feasible(s, &batch) {
             return Err(format!("strategy '{s}' is infeasible for this forest/device"));
@@ -317,7 +352,7 @@ fn cmd_infer(flags: &Flags) -> Result<(), String> {
         std::fs::write(out, text).map_err(|e| e.to_string())?;
         println!("wrote {} predictions to {}", result.predictions.len(), out.display());
     }
-    Ok(())
+    flags.export_telemetry(&sink)
 }
 
 fn cmd_bench(flags: &Flags) -> Result<(), String> {
@@ -325,13 +360,15 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     let forest = load_model(flags, &data)?;
     let device = flags.device()?;
     let batch = batch_samples(flags, &data);
-    let mut engine = Engine::new(
+    let sink = flags.sink();
+    let mut engine = Engine::with_telemetry(
         device,
         forest,
         EngineOptions {
             functional: false,
             ..EngineOptions::tahoe()
         },
+        sink.clone(),
     );
     println!("{:<26} {:>14} {:>12}", "strategy", "ns/sample", "samples/us");
     for s in Strategy::ALL {
@@ -349,7 +386,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     }
     let auto = engine.infer(&batch);
     println!("model selects: {}", auto.strategy);
-    Ok(())
+    flags.export_telemetry(&sink)
 }
 
 fn cmd_inspect(flags: &Flags) -> Result<(), String> {

@@ -11,6 +11,7 @@
 
 use tahoe::strategy::testutil::{context, Fixture};
 use tahoe::strategy::{self, Strategy};
+use tahoe::telemetry::{TelemetryCtx, TelemetrySink};
 use tahoe_gpu_sim::kernel::{Detail, KernelResult};
 use tahoe_gpu_sim::parallel::set_sim_threads;
 
@@ -87,7 +88,10 @@ fn assert_bit_identical(a: &KernelResult, b: &KernelResult, what: &str) {
     }
 }
 
-/// All four strategies, 1-thread vs forced multi-worker, bit-identical.
+/// All four strategies, 1-thread vs forced multi-worker: bit-identical
+/// kernel results AND byte-identical telemetry exports (Chrome trace +
+/// metrics snapshot). Telemetry emission happens in `finish()` after the
+/// plan-order merge, so worker scheduling must never leak into the trace.
 ///
 /// Kept as a single test function: the worker override is process-global, so
 /// the forced phases must not interleave with other override writers.
@@ -104,12 +108,18 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
         let mut ctx = context(&fx, Detail::Full);
         ctx.block_threads = 32;
         for s in Strategy::ALL {
+            let sink_seq = TelemetrySink::recording();
+            let sink_par = TelemetrySink::recording();
             set_sim_threads(Some(1));
-            let sequential = strategy::run(s, &ctx);
+            let mut ctx_seq = ctx;
+            ctx_seq.telemetry = TelemetryCtx { sink: &sink_seq, t0_ns: 0.0 };
+            let sequential = strategy::run(s, &ctx_seq);
             // 4 workers even on a 1-core host: oversubscription changes
             // scheduling, never results.
             set_sim_threads(Some(4));
-            let parallel = strategy::run(s, &ctx);
+            let mut ctx_par = ctx;
+            ctx_par.telemetry = TelemetryCtx { sink: &sink_par, t0_ns: 0.0 };
+            let parallel = strategy::run(s, &ctx_par);
             set_sim_threads(None);
             match (sequential, parallel) {
                 (Some(seq), Some(par)) => {
@@ -120,10 +130,26 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
                     assert_bit_identical(&seq.kernel, &par.kernel, &format!("{dataset}/{s}"));
                     assert_eq!(seq.geometry, par.geometry, "{dataset}/{s}: geometry");
                     assert_eq!(seq.n_samples, par.n_samples, "{dataset}/{s}: n_samples");
+                    assert!(
+                        sink_seq.snapshot().span_count > 0,
+                        "{dataset}/{s}: feasible run recorded no spans"
+                    );
                 }
                 (None, None) => {} // infeasible either way — consistent
                 _ => panic!("{dataset}/{s}: feasibility changed with worker count"),
             }
+            // Exports must match byte-for-byte, not just semantically: the
+            // trace files users diff are the serialized strings.
+            assert_eq!(
+                sink_seq.chrome_trace_json(),
+                sink_par.chrome_trace_json(),
+                "{dataset}/{s}: Chrome trace differs across worker counts"
+            );
+            assert_eq!(
+                sink_seq.metrics_json(),
+                sink_par.metrics_json(),
+                "{dataset}/{s}: metrics snapshot differs across worker counts"
+            );
         }
     }
 }

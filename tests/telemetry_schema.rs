@@ -1,0 +1,106 @@
+//! Golden-schema gate for the telemetry exports (DESIGN.md §2.9).
+//!
+//! The Chrome trace must stay loadable by `chrome://tracing` / Perfetto:
+//! every event carries the required keys, durations are non-negative, and
+//! events are ordered by start time within each (pid, tid) track. The
+//! metrics snapshot must survive a serde round-trip unchanged.
+
+use serde_json::Value;
+use tahoe::engine::{Engine, EngineOptions};
+use tahoe::strategy::testutil::Fixture;
+use tahoe::telemetry::{MetricsSnapshot, TelemetrySink};
+use tahoe_gpu_sim::device::DeviceSpec;
+
+/// Runs one engine batch against a recording sink and returns it.
+fn recorded_run() -> TelemetrySink {
+    let fx = Fixture::trained("letter");
+    let sink = TelemetrySink::recording();
+    let mut engine = Engine::with_telemetry(
+        DeviceSpec::tesla_p100(),
+        fx.forest.clone(),
+        EngineOptions::tahoe(),
+        sink.clone(),
+    );
+    let _ = engine.infer(&fx.samples);
+    sink
+}
+
+#[test]
+fn chrome_trace_matches_the_golden_schema() {
+    let sink = recorded_run();
+    let text = sink.chrome_trace_json();
+    let doc: Value = serde_json::from_str(&text).expect("trace is valid JSON");
+
+    assert_eq!(
+        doc["displayTimeUnit"].as_str(),
+        Some("ns"),
+        "displayTimeUnit pins nanosecond rendering"
+    );
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "an engine run must produce events");
+
+    let mut complete_events = 0usize;
+    let mut last_start: std::collections::BTreeMap<(u64, u64), f64> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        // Required keys for every event, metadata included.
+        let ph = e["ph"].as_str().expect("ph present");
+        assert!(e["name"].as_str().is_some(), "name present: {e:?}");
+        let pid = e["pid"].as_u64().expect("pid present");
+        let tid = e["tid"].as_u64().expect("tid present");
+        let ts = e["ts"].as_f64().expect("ts present");
+        match ph {
+            "M" => {
+                assert_eq!(e["name"].as_str(), Some("process_name"));
+                assert!(
+                    e["args"]["name"].as_str().is_some(),
+                    "metadata names its process: {e:?}"
+                );
+            }
+            "X" => {
+                complete_events += 1;
+                let dur = e["dur"].as_f64().expect("complete events carry dur");
+                assert!(ts >= 0.0 && dur >= 0.0, "non-negative times: {e:?}");
+                // Start times are non-decreasing within each (pid, tid)
+                // track — the exporter sorts, and viewers rely on it.
+                let key = (pid, tid);
+                if let Some(prev) = last_start.get(&key) {
+                    assert!(
+                        ts >= *prev,
+                        "track {key:?} goes backwards: {prev} -> {ts}"
+                    );
+                }
+                last_start.insert(key, ts);
+            }
+            other => panic!("unexpected event phase '{other}': {e:?}"),
+        }
+    }
+    assert!(complete_events > 0, "at least one span event");
+    assert!(
+        !last_start.is_empty(),
+        "span events cover at least one (pid, tid) track"
+    );
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_serde() {
+    let sink = recorded_run();
+    let snapshot = sink.snapshot();
+    assert!(snapshot.span_count > 0, "engine run records spans");
+    assert!(
+        snapshot.counters.contains_key("kernel_launches"),
+        "counter names are exported"
+    );
+
+    let text = sink.metrics_json();
+    let back: MetricsSnapshot = serde_json::from_str(&text).expect("snapshot parses");
+    assert_eq!(back, snapshot, "round-trip must be lossless");
+
+    // The flat export is also plain JSON for non-Rust consumers.
+    let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+    assert!(doc["counters"]["kernel_launches"].as_u64().is_some());
+    assert_eq!(
+        doc["span_count"].as_u64(),
+        Some(snapshot.span_count as u64)
+    );
+}

@@ -6,7 +6,7 @@
 //! parses/prints `Value`. The surface is exactly what this workspace uses;
 //! `#[serde(...)]` attributes and zero-copy deserialization are out of scope.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
@@ -491,6 +491,25 @@ impl<T: Deserialize> Deserialize for Option<T> {
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    /// Serializes as a JSON object; keys appear in the map's sorted order.
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, item)| Ok((k.clone(), V::from_value(item)?)))
+                .collect(),
+            other => Err(DeError::invalid_type("object", other)),
+        }
     }
 }
 

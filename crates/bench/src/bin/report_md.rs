@@ -275,6 +275,16 @@ fn main() {
         );
     }
 
+    // Kernel profiles are opt-in too (`--profile` or any telemetry flag).
+    if let Some(v) = fs::read_to_string(dir.join("kernel_profiles.json"))
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        if let Some(section) = kernel_profiles_section(&v) {
+            out.push_str(&section);
+        }
+    }
+
     if !missing.is_empty() {
         let _ = writeln!(out, "\n(missing records: {})", missing.join(", "));
     }
@@ -282,4 +292,153 @@ fn main() {
     fs::write(&path, &out).expect("write summary");
     println!("wrote {}", path.display());
     print!("{out}");
+}
+
+/// Digests `kernel_profiles.json` (a serialized `ProfilesExport`) into the
+/// "Kernel profiles" section: one table row per strategy label with mean
+/// occupancy, coalescing efficiency, wall-time shares, and mean absolute
+/// model-vs-simulator error. Returns `None` when no launches were profiled.
+fn kernel_profiles_section(v: &Value) -> Option<String> {
+    let kernels = v["kernels"].as_array()?;
+    if kernels.is_empty() {
+        return None;
+    }
+    let mut labels: Vec<&str> = Vec::new();
+    for k in kernels {
+        let label = k["label"].as_str().unwrap_or("?");
+        if !labels.contains(&label) {
+            labels.push(label);
+        }
+    }
+    let drift = v["drift"].as_array().cloned().unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## Kernel profiles");
+    let _ = writeln!(
+        out,
+        "| strategy | launches | occupancy | coalescing | traversal | staging | reduction | bw stall | model err |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for label in labels {
+        let ks: Vec<&Value> = kernels
+            .iter()
+            .filter(|k| k["label"].as_str() == Some(label))
+            .collect();
+        let n = ks.len() as f64;
+        let mean = |key: &str| {
+            ks.iter().filter_map(|k| k[key].as_f64()).sum::<f64>() / n
+        };
+        let part = |key: &str| {
+            ks.iter()
+                .filter_map(|k| k["breakdown"][key].as_f64())
+                .sum::<f64>()
+        };
+        let total: f64 = ks.iter().filter_map(|k| k["total_ns"].as_f64()).sum();
+        let share = |ns: f64| 100.0 * ns / total.max(f64::MIN_POSITIVE);
+        let errors: Vec<f64> = drift
+            .iter()
+            .filter(|d| d["strategy"].as_str() == Some(label))
+            .filter_map(|d| d["relative_error"].as_f64())
+            .map(f64::abs)
+            .collect();
+        let model_err = if errors.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * errors.iter().sum::<f64>() / errors.len() as f64)
+        };
+        let _ = writeln!(
+            out,
+            "| {label} | {} | {:.0}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {model_err} |",
+            ks.len(),
+            100.0 * mean("achieved_occupancy"),
+            100.0 * mean("gmem_coalescing_efficiency"),
+            share(part("traversal_ns")),
+            share(part("staging_ns")),
+            share(part("block_reduction_ns") + part("global_reduction_ns")),
+            share(part("bandwidth_stall_ns")),
+        );
+    }
+    let durations = &v["kernel_durations"];
+    let count = durations["count"].as_u64().unwrap_or(0);
+    if count > 0 {
+        let _ = writeln!(
+            out,
+            "- kernel durations: {count} launches, mean {:.1} us, max {:.1} us",
+            durations["sum_ns"].as_u64().unwrap_or(0) as f64 / count as f64 / 1e3,
+            durations["max_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+        );
+    }
+    let serving = &v["serving_latencies"];
+    let count = serving["count"].as_u64().unwrap_or(0);
+    if count > 0 {
+        let _ = writeln!(
+            out,
+            "- serving latencies: {count} requests, mean {:.1} us, max {:.1} us",
+            serving["sum_ns"].as_u64().unwrap_or(0) as f64 / count as f64 / 1e3,
+            serving["max_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+        );
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_groups_by_strategy_and_joins_drift() {
+        let v: Value = serde_json::from_str(
+            r#"{
+              "kernels": [
+                {"label": "direct", "total_ns": 100.0, "achieved_occupancy": 0.5,
+                 "gmem_coalescing_efficiency": 0.25,
+                 "breakdown": {"traversal_ns": 80.0, "staging_ns": 0.0,
+                               "block_reduction_ns": 0.0, "global_reduction_ns": 20.0,
+                               "bandwidth_stall_ns": 0.0}},
+                {"label": "direct", "total_ns": 100.0, "achieved_occupancy": 1.0,
+                 "gmem_coalescing_efficiency": 0.75,
+                 "breakdown": {"traversal_ns": 100.0, "staging_ns": 0.0,
+                               "block_reduction_ns": 0.0, "global_reduction_ns": 0.0,
+                               "bandwidth_stall_ns": 0.0}},
+                {"label": "shared data", "total_ns": 50.0, "achieved_occupancy": 1.0,
+                 "gmem_coalescing_efficiency": 1.0,
+                 "breakdown": {"traversal_ns": 50.0, "staging_ns": 0.0,
+                               "block_reduction_ns": 0.0, "global_reduction_ns": 0.0,
+                               "bandwidth_stall_ns": 0.0}}
+              ],
+              "kernel_durations": {"count": 3, "sum_ns": 250, "min_ns": 50,
+                                   "max_ns": 100, "buckets": []},
+              "serving_latencies": {"count": 0, "sum_ns": 0, "min_ns": 0,
+                                    "max_ns": 0, "buckets": []},
+              "drift": [
+                {"strategy": "direct", "n_samples": 8, "predicted_ns": 110.0,
+                 "simulated_ns": 100.0, "relative_error": 0.1},
+                {"strategy": "direct", "n_samples": 8, "predicted_ns": 70.0,
+                 "simulated_ns": 100.0, "relative_error": -0.3}
+              ]
+            }"#,
+        )
+        .expect("fixture parses");
+        let section = kernel_profiles_section(&v).expect("non-empty digest");
+        // direct: mean occupancy 75%, coalescing 50%, traversal 90%,
+        // reduction 10%, mean |err| 20%; shared data has no drift records.
+        assert!(section.contains("## Kernel profiles"), "{section}");
+        assert!(
+            section.contains("| direct | 2 | 75% | 50.0% | 90.0% | 0.0% | 10.0% | 0.0% | 20.0% |"),
+            "{section}"
+        );
+        assert!(
+            section.contains("| shared data | 1 | 100% | 100.0% | 100.0% | 0.0% | 0.0% | 0.0% | - |"),
+            "{section}"
+        );
+        assert!(section.contains("kernel durations: 3 launches"), "{section}");
+        assert!(!section.contains("serving latencies:"), "{section}");
+    }
+
+    #[test]
+    fn digest_is_none_without_kernels() {
+        let v: Value = serde_json::from_str(r#"{"kernels": []}"#).expect("parses");
+        assert!(kernel_profiles_section(&v).is_none());
+        let v: Value = serde_json::from_str(r"{}").expect("parses");
+        assert!(kernel_profiles_section(&v).is_none());
+    }
 }

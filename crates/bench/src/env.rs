@@ -17,8 +17,10 @@ pub struct Env {
     pub trace: Option<PathBuf>,
     /// Metrics-snapshot JSON output (`--metrics <path>`); `None` = off.
     pub metrics: Option<PathBuf>,
-    /// Telemetry sink for the run: recording iff `--trace` or `--metrics`
-    /// was given, otherwise disabled (zero overhead).
+    /// Per-kernel profiler JSON output (`--profile <path>`); `None` = off.
+    pub profile: Option<PathBuf>,
+    /// Telemetry sink for the run: recording iff `--trace`, `--metrics`, or
+    /// `--profile` was given, otherwise disabled (zero overhead).
     pub sink: TelemetrySink,
 }
 
@@ -29,6 +31,7 @@ impl Default for Env {
             detail: Detail::Sampled(32),
             trace: None,
             metrics: None,
+            profile: None,
             sink: TelemetrySink::Disabled,
         }
     }
@@ -80,20 +83,25 @@ impl Env {
                     let v = it.next().unwrap_or_else(|| usage("missing value for --metrics"));
                     env.metrics = Some(PathBuf::from(v));
                 }
+                "--profile" => {
+                    let v = it.next().unwrap_or_else(|| usage("missing value for --profile"));
+                    env.profile = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
-        if env.trace.is_some() || env.metrics.is_some() {
+        if env.trace.is_some() || env.metrics.is_some() || env.profile.is_some() {
             env.sink = TelemetrySink::recording();
         }
         env
     }
 
     /// Writes the requested telemetry exports: the Chrome trace to `--trace`,
-    /// the metrics snapshot to `--metrics`, and (when recording) a
-    /// `telemetry_metrics` result JSON for `report_md`. No-op when neither
-    /// flag was given.
+    /// the metrics snapshot to `--metrics`, the per-kernel profiles to
+    /// `--profile`, and (when recording) `telemetry_metrics` +
+    /// `kernel_profiles` result JSONs for `report_md`. No-op when no
+    /// telemetry flag was given.
     ///
     /// # Panics
     ///
@@ -109,8 +117,14 @@ impl Env {
                 .unwrap_or_else(|e| panic!("cannot write metrics {}: {e}", path.display()));
             eprintln!("wrote metrics snapshot to {}", path.display());
         }
+        if let Some(path) = &self.profile {
+            std::fs::write(path, self.sink.profiles_json())
+                .unwrap_or_else(|e| panic!("cannot write profiles {}: {e}", path.display()));
+            eprintln!("wrote kernel profiles to {}", path.display());
+        }
         if self.sink.is_enabled() {
             crate::report::write_json("telemetry_metrics", &self.sink.snapshot());
+            crate::report::write_json("kernel_profiles", &self.sink.profiles());
         }
     }
 }
@@ -119,7 +133,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: <experiment> [--scale paper|ci|smoke] [--detail N|full] \
-         [--trace <path>] [--metrics <path>]"
+         [--trace <path>] [--metrics <path>] [--profile <path>]"
     );
     std::process::exit(2)
 }
@@ -156,6 +170,9 @@ mod tests {
         assert_eq!(e.trace.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
         assert!(e.sink.is_enabled());
         let e = parse(&["--metrics", "/tmp/m.json"]);
+        assert!(e.sink.is_enabled());
+        let e = parse(&["--profile", "/tmp/p.json"]);
+        assert_eq!(e.profile.as_deref(), Some(std::path::Path::new("/tmp/p.json")));
         assert!(e.sink.is_enabled());
     }
 }

@@ -35,6 +35,12 @@ pub struct BlockResult {
     /// telemetry span exporter's warp tracks; negligible next to
     /// `thread_busy_ns`, which is `warp_size` times larger.
     pub warp_serial_ns: Vec<f64>,
+    /// Sum of the warps' serial times (ns) — the profiler's time-attribution
+    /// denominator.
+    pub serial_sum_ns: f64,
+    /// Sum of the warps' streamed-read time (ns) — the profiler's staging
+    /// numerator.
+    pub streamed_ns: f64,
     /// Per-level statistics merged over warps.
     pub levels: BTreeMap<u32, LevelStats>,
     /// Number of warps simulated.
@@ -104,10 +110,14 @@ impl<'d> BlockSim<'d> {
         let mut thread_busy_ns =
             Vec::with_capacity(self.warps.len() * self.device.warp_size as usize);
         let mut warp_serial_ns = Vec::with_capacity(self.warps.len());
+        let mut serial_sum_ns = 0.0f64;
+        let mut streamed_ns = 0.0f64;
         for w in &self.warps {
             gmem.merge(&w.gmem);
             smem.merge(&w.smem);
             critical_ns = critical_ns.max(w.serial_ns);
+            serial_sum_ns += w.serial_ns;
+            streamed_ns += w.streamed_ns;
             steps += w.steps;
             active_lane_steps += w.active_lane_steps;
             thread_busy_ns.extend_from_slice(&w.lane_busy_ns);
@@ -124,6 +134,8 @@ impl<'d> BlockSim<'d> {
             smem,
             thread_busy_ns,
             warp_serial_ns,
+            serial_sum_ns,
+            streamed_ns,
             levels,
             n_warps: self.warps.len(),
             steps,

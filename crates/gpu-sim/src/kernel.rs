@@ -39,6 +39,7 @@ use crate::coalesce::AccessStats;
 use crate::device::DeviceSpec;
 use crate::occupancy::{concurrent_blocks, waves};
 use crate::parallel::parallel_map;
+use crate::profile::{KernelProfile, LaunchStats};
 use crate::telemetry::{Counter, SpanEvent, TelemetrySink, PID_GPU};
 use crate::warp::LevelStats;
 
@@ -254,6 +255,8 @@ impl<'d> KernelSim<'d> {
         let mut max_wall = 0.0f64;
         let mut sum_reduction = 0.0f64;
         let mut sum_critical = 0.0f64;
+        let mut sum_serial = 0.0f64;
+        let mut sum_streamed = 0.0f64;
         let mut steps = 0u64;
         let mut active_lane_steps = 0u64;
         let mut block_reductions = 0u64;
@@ -274,6 +277,8 @@ impl<'d> KernelSim<'d> {
             max_wall = max_wall.max(wall);
             sum_reduction += b.reduction_ns;
             sum_critical += b.critical_ns;
+            sum_serial += b.serial_sum_ns;
+            sum_streamed += b.streamed_ns;
             steps += b.steps;
             active_lane_steps += b.active_lane_steps;
             block_reductions += b.reductions;
@@ -305,6 +310,7 @@ impl<'d> KernelSim<'d> {
                 mean_wall,
                 scheduled,
                 total_ns: scheduled + global_reduction_ns,
+                block_reduction_wall,
                 global_reduction_ns,
                 global_reductions,
                 gmem: &gmem_total,
@@ -315,6 +321,26 @@ impl<'d> KernelSim<'d> {
                 active_lane_steps,
                 warp_size: device.warp_size,
             });
+            tr.sink.push_kernel_profile(KernelProfile::from_launch(&LaunchStats {
+                device,
+                label: &tr.label,
+                grid_blocks,
+                threads_per_block,
+                smem_per_block,
+                sampled_blocks: n_sampled,
+                concurrent_blocks: concurrent,
+                waves: n_waves,
+                gmem: &gmem_total,
+                smem: &smem_total,
+                steps,
+                active_lane_steps,
+                latency_bound_ns: latency_bound,
+                block_reduction_ns: block_reduction_wall,
+                scheduled_ns: scheduled,
+                global_reduction_ns,
+                streamed_serial_ns: sum_streamed,
+                total_serial_ns: sum_serial,
+            }));
         }
         KernelResult {
             grid_blocks,
@@ -347,6 +373,7 @@ struct LaunchTelemetry<'a> {
     mean_wall: f64,
     scheduled: f64,
     total_ns: f64,
+    block_reduction_wall: f64,
     global_reduction_ns: f64,
     global_reductions: u64,
     gmem: &'a AccessStats,
@@ -384,6 +411,12 @@ fn emit_launch_telemetry(t: LaunchTelemetry<'_>) {
     sink.add(
         Counter::DivergenceStallLaneSteps,
         (t.steps * u64::from(t.warp_size)).saturating_sub(t.active_lane_steps),
+    );
+    sink.add(Counter::WarpActiveLaneSteps, t.active_lane_steps);
+    sink.add(Counter::KernelTimeNs, t.total_ns.round() as u64);
+    sink.add(
+        Counter::ReductionTimeNs,
+        (t.block_reduction_wall + t.global_reduction_ns).round() as u64,
     );
     let t0 = t.trace.t0_ns;
     let n_events: usize = 2 + t.span_data.iter().map(|(_, _, w)| w.len() + 2).sum::<usize>();

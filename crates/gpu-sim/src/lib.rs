@@ -28,6 +28,8 @@
 //!   (`TAHOE_SIM_THREADS` overrides the worker count).
 //! - [`telemetry`] — span recorder, typed counter registry, and Chrome
 //!   trace / metrics-snapshot export (zero-cost when disabled).
+//! - [`profile`] — per-kernel Nsight-style reports, latency histograms,
+//!   and model-vs-simulator drift records layered on the telemetry sink.
 //!
 //! # Examples
 //!
@@ -64,6 +66,7 @@ pub mod microbench;
 pub mod multigpu;
 pub mod occupancy;
 pub mod parallel;
+pub mod profile;
 pub mod reduction;
 pub mod telemetry;
 pub mod warp;
@@ -75,5 +78,9 @@ pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
 pub use memory::{DeviceMemory, GlobalBuffer, OomError, ALLOC_ALIGN};
 pub use microbench::{measure, MeasuredParams};
 pub use parallel::{parallel_map, set_sim_threads, sim_threads};
+pub use profile::{
+    DriftRecord, HistogramExport, KernelProfile, LatencyHistogram, OccupancyLimiter,
+    ProfilesExport, TimeBreakdown,
+};
 pub use telemetry::{Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink};
 pub use warp::{LevelStats, WarpResult, WarpSim, MAX_WARP_LANES};

@@ -69,6 +69,12 @@ pub enum Counter {
     /// Idle lane-steps in sampled warps (divergence stalls):
     /// `steps × warp_size − active_lane_steps`.
     DivergenceStallLaneSteps,
+    /// Active lane-steps in sampled warps (warp-efficiency numerator).
+    WarpActiveLaneSteps,
+    /// Total simulated kernel time, rounded ns (reduction-share denominator).
+    KernelTimeNs,
+    /// Simulated kernel time spent in block + global reductions, rounded ns.
+    ReductionTimeNs,
     /// Kernel launches traced.
     KernelLaunches,
     /// Blocks simulated in detail.
@@ -99,7 +105,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 24] = [
         Counter::GmemTransactions,
         Counter::GmemRequestedBytes,
         Counter::GmemFetchedBytes,
@@ -108,6 +114,9 @@ impl Counter {
         Counter::BlockReductions,
         Counter::GlobalReductions,
         Counter::DivergenceStallLaneSteps,
+        Counter::WarpActiveLaneSteps,
+        Counter::KernelTimeNs,
+        Counter::ReductionTimeNs,
         Counter::KernelLaunches,
         Counter::SimulatedBlocks,
         Counter::DeviceAllocs,
@@ -135,6 +144,9 @@ impl Counter {
             Counter::BlockReductions => "block_reductions",
             Counter::GlobalReductions => "global_reductions",
             Counter::DivergenceStallLaneSteps => "divergence_stall_lane_steps",
+            Counter::WarpActiveLaneSteps => "warp_active_lane_steps",
+            Counter::KernelTimeNs => "kernel_time_ns",
+            Counter::ReductionTimeNs => "reduction_time_ns",
             Counter::KernelLaunches => "kernel_launches",
             Counter::SimulatedBlocks => "simulated_blocks",
             Counter::DeviceAllocs => "device_allocs",
@@ -216,16 +228,60 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Global-load efficiency derived from the counters
     /// (requested / fetched; 1.0 when nothing was fetched).
     #[must_use]
     pub fn gmem_efficiency(&self) -> f64 {
-        let requested = self.counters.get("gmem_requested_bytes").copied().unwrap_or(0);
-        let fetched = self.counters.get("gmem_fetched_bytes").copied().unwrap_or(0);
+        let requested = self.counter("gmem_requested_bytes");
+        let fetched = self.counter("gmem_fetched_bytes");
         if fetched == 0 {
             1.0
         } else {
             requested as f64 / fetched as f64
+        }
+    }
+
+    /// Warp-execution efficiency: active lane-steps over total lane-steps
+    /// (active + divergence stalls); 1.0 when no lane-steps were recorded.
+    #[must_use]
+    pub fn warp_efficiency(&self) -> f64 {
+        let active = self.counter("warp_active_lane_steps");
+        let stalled = self.counter("divergence_stall_lane_steps");
+        let total = active + stalled;
+        if total == 0 {
+            1.0
+        } else {
+            active as f64 / total as f64
+        }
+    }
+
+    /// Share of simulated kernel time spent in block + global reductions;
+    /// 0.0 when no kernel time was recorded.
+    #[must_use]
+    pub fn reduction_share(&self) -> f64 {
+        let kernel_ns = self.counter("kernel_time_ns");
+        let reduction_ns = self.counter("reduction_time_ns");
+        if kernel_ns == 0 {
+            0.0
+        } else {
+            (reduction_ns as f64 / kernel_ns as f64).min(1.0)
+        }
+    }
+
+    /// Fraction of allocation attempts that hit simulated OOM
+    /// (`oom / (allocs + oom)`); 0.0 when nothing was allocated.
+    #[must_use]
+    pub fn oom_retry_rate(&self) -> f64 {
+        let oom = self.counter("device_oom_events");
+        let attempts = self.counter("device_allocs") + oom;
+        if attempts == 0 {
+            0.0
+        } else {
+            oom as f64 / attempts as f64
         }
     }
 }
@@ -236,6 +292,9 @@ pub struct SinkInner {
     counters: Mutex<CounterRegistry>,
     spans: Mutex<Vec<SpanEvent>>,
     process_names: Mutex<BTreeMap<u32, String>>,
+    /// Per-kernel profiles, latency histograms, and drift records; the
+    /// recording methods live in [`crate::profile`].
+    pub(crate) profiles: Mutex<crate::profile::ProfileStore>,
 }
 
 /// Telemetry recording handle.
@@ -443,6 +502,45 @@ mod tests {
         assert!((snap.gmem_efficiency() - 0.5).abs() < 1e-12);
         // Every declared counter appears in the snapshot.
         assert_eq!(snap.counters.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn derived_metrics_are_nan_free_on_zero_counters() {
+        // A fresh (or disabled) sink has every counter at zero; no derived
+        // helper may divide by that zero.
+        for sink in [TelemetrySink::Disabled, TelemetrySink::recording()] {
+            let snap = sink.snapshot();
+            assert_eq!(snap.gmem_efficiency(), 1.0);
+            assert_eq!(snap.warp_efficiency(), 1.0);
+            assert_eq!(snap.reduction_share(), 0.0);
+            assert_eq!(snap.oom_retry_rate(), 0.0);
+        }
+        // Missing keys (e.g. a snapshot parsed from an older export) must
+        // degrade the same way, not panic or return NaN.
+        let empty = MetricsSnapshot { counters: BTreeMap::new(), span_count: 0 };
+        for v in [
+            empty.gmem_efficiency(),
+            empty.warp_efficiency(),
+            empty.reduction_share(),
+            empty.oom_retry_rate(),
+        ] {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn derived_metrics_follow_their_counters() {
+        let sink = TelemetrySink::recording();
+        sink.add(Counter::WarpActiveLaneSteps, 75);
+        sink.add(Counter::DivergenceStallLaneSteps, 25);
+        sink.add(Counter::KernelTimeNs, 1_000);
+        sink.add(Counter::ReductionTimeNs, 250);
+        sink.add(Counter::DeviceAllocs, 9);
+        sink.add(Counter::DeviceOomEvents, 1);
+        let snap = sink.snapshot();
+        assert!((snap.warp_efficiency() - 0.75).abs() < 1e-12);
+        assert!((snap.reduction_share() - 0.25).abs() < 1e-12);
+        assert!((snap.oom_retry_rate() - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -53,6 +53,9 @@ impl LevelStats {
 pub struct WarpResult {
     /// Critical-path time of the warp (lockstep over all steps).
     pub serial_ns: f64,
+    /// Portion of `serial_ns` accrued by *streamed* global reads
+    /// (`gmem_read_streamed`); the profiler attributes it to staging.
+    pub streamed_ns: f64,
     /// Global-memory statistics.
     pub gmem: AccessStats,
     /// Shared-memory statistics.
@@ -174,6 +177,9 @@ impl<'d> WarpSim<'d> {
             self.device.gmem_latency_ns
         };
         self.result.serial_ns += latency;
+        if streamed {
+            self.result.streamed_ns += latency;
+        }
         self.result.steps += 1;
         self.result.active_lane_steps += accesses.len() as u64;
         for &(lane, _) in accesses {
@@ -314,6 +320,19 @@ mod tests {
         assert_eq!(r.serial_ns, 0.0);
         assert_eq!(r.gmem.steps, 0);
         assert!(r.levels.is_empty());
+    }
+
+    #[test]
+    fn streamed_time_is_tracked_separately() {
+        let d = device();
+        let mut w = WarpSim::new(&d);
+        let all: Vec<(u8, u64)> = (0..32).map(|i| (i as u8, 0x1000 + i * 4)).collect();
+        w.gmem_read(&all, 4, None); // dependent: full latency, not streamed
+        w.gmem_read_streamed(&all, 4, None); // streamed: latency / mlp
+        let r = w.finish();
+        let streamed = d.gmem_latency_ns / d.mlp;
+        assert!((r.streamed_ns - streamed).abs() < 1e-9);
+        assert!((r.serial_ns - (d.gmem_latency_ns + streamed)).abs() < 1e-9);
     }
 
     #[test]

@@ -18,7 +18,8 @@ use tahoe_gpu_sim::memory::{DeviceMemory, OomError, ALLOC_ALIGN, GLOBAL_BASE};
 use tahoe_gpu_sim::{measure, GlobalBuffer, MeasuredParams};
 
 use crate::format::{DeviceForest, FormatConfig, LayoutPlan};
-use crate::perfmodel::{ModelInputs, Prediction};
+use crate::perfmodel::{self, ModelInputs, Prediction};
+use crate::profile::DriftRecord;
 use crate::rearrange::{self, RearrangeReport, SimilarityParams};
 use crate::strategy::common::THREADS_PER_BLOCK;
 use crate::strategy::{self, LaunchContext, Strategy, StrategyRun};
@@ -400,6 +401,17 @@ impl Engine {
                 self.clock_ns,
                 run.kernel.total_ns,
             );
+            // Drift auditor (DESIGN.md §2.10): replay the launch through the
+            // §6 performance model with the geometry actually launched, and
+            // record predicted vs. simulated batch cost.
+            let per_sample =
+                perfmodel::predict(strategy, &inputs, &self.hw, &run.geometry, &self.device);
+            self.sink.push_drift(DriftRecord::new(
+                strategy.name(),
+                samples.n_samples(),
+                per_sample.total() * samples.n_samples() as f64,
+                run.kernel.total_ns,
+            ));
         }
         self.clock_ns += run.kernel.total_ns;
         let predictions = if self.options.functional {
@@ -470,13 +482,17 @@ impl Engine {
         out.mem_in_use_bytes = self.mem.in_use_bytes();
         out.mem_high_water_bytes = self.mem.high_water_bytes();
         self.sink.add(Counter::EngineChunkSplits, 1);
-        self.sink.span(
-            format!("chunked infer ({chunks} chunks, OOM retry)"),
-            PID_ENGINE,
-            2,
-            split_t0,
-            self.clock_ns - split_t0,
-        );
+        // Guard the format!: span() is a no-op when disabled, but the label
+        // would still allocate on the hot path (CLAUDE.md invariant).
+        if self.sink.is_enabled() {
+            self.sink.span(
+                format!("chunked infer ({chunks} chunks, OOM retry)"),
+                PID_ENGINE,
+                2,
+                split_t0,
+                self.clock_ns - split_t0,
+            );
+        }
         out
     }
 

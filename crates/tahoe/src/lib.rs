@@ -19,6 +19,8 @@
 //! - [`telemetry`] — span/counter recording across all layers, exported as
 //!   Chrome trace JSON and flat metrics snapshots (see `gpu-sim`'s
 //!   `telemetry` module for the substrate).
+//! - [`profile`] — per-kernel profiler reports, latency histograms, and the
+//!   model-vs-simulator drift auditor (substrate in `gpu-sim`'s `profile`).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod engine;
 pub mod format;
 pub mod metrics;
 pub mod perfmodel;
+pub mod profile;
 pub mod rearrange;
 pub mod serving;
 pub mod strategy;
@@ -52,6 +55,7 @@ pub mod tune;
 pub use engine::{Engine, EngineOptions, InferenceResult};
 pub use format::{DeviceForest, FormatConfig, LayoutPlan};
 pub use perfmodel::{ModelInputs, Prediction};
+pub use profile::{DriftRecord, KernelProfile, ProfilesExport};
 pub use rearrange::{adaptive_plan, similarity_order, SimilarityParams};
 pub use strategy::{LaunchContext, Strategy, StrategyRun};
 pub use telemetry::{Counter, MetricsSnapshot, TelemetryCtx, TelemetrySink};

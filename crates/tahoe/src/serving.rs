@@ -287,6 +287,11 @@ impl<'e> ServingSim<'e> {
             gpu_free_at = finished_at;
             next_request = last;
         }
+        // Request latencies feed the profiler's serving histogram; recorded
+        // once from this (caller) thread, so the export stays deterministic.
+        if sink.is_enabled() {
+            sink.record_serving_latencies(&latencies);
+        }
         ServingReport::new(
             batches,
             latencies,

@@ -11,12 +11,30 @@ cargo test --workspace --release
 
 # The parallel block-simulation driver must be bit-identical at any worker
 # count; exercise the TAHOE_SIM_THREADS env path at 1 and 4 workers. The
-# determinism suite also pins the telemetry exports (Chrome trace + metrics
-# snapshot) byte-for-byte across worker counts; telemetry_schema keeps the
-# trace loadable by Perfetto.
-TAHOE_SIM_THREADS=1 cargo test --release --test determinism --test telemetry_schema
-TAHOE_SIM_THREADS=4 cargo test --release --test determinism --test telemetry_schema
+# determinism suite also pins the telemetry exports (Chrome trace, metrics
+# snapshot, kernel profiles) byte-for-byte across worker counts;
+# telemetry_schema keeps the trace loadable by Perfetto, profile_schema pins
+# the profiler payload, and drift_audit bounds model-vs-simulator error.
+TAHOE_SIM_THREADS=1 cargo test --release --test determinism --test telemetry_schema \
+    --test profile_schema --test drift_audit
+TAHOE_SIM_THREADS=4 cargo test --release --test determinism --test telemetry_schema \
+    --test profile_schema --test drift_audit
 
 # Telemetry must be zero-cost when off: spot-check that a bench binary runs
-# with the default disabled sink (no --trace/--metrics) end-to-end.
+# with the default disabled sink (no --trace/--metrics/--profile) end-to-end.
 cargo run --release -p tahoe-bench --bin host_perf -- --scale smoke --detail 4
+
+# End-to-end profiler export: a smoke experiment with --profile must produce
+# byte-identical payloads at 1 and 4 workers, and report_md must digest the
+# recorded kernel_profiles.json into the summary.
+PROFILE_TMP=$(mktemp -d)
+TAHOE_SIM_THREADS=1 TAHOE_RESULTS_DIR="$PROFILE_TMP" \
+    cargo run --release -p tahoe-bench --bin fig5_strategies -- \
+    --scale smoke --detail 4 --profile "$PROFILE_TMP/profiles_w1.json"
+TAHOE_SIM_THREADS=4 TAHOE_RESULTS_DIR="$PROFILE_TMP" \
+    cargo run --release -p tahoe-bench --bin fig5_strategies -- \
+    --scale smoke --detail 4 --profile "$PROFILE_TMP/profiles_w4.json"
+cmp "$PROFILE_TMP/profiles_w1.json" "$PROFILE_TMP/profiles_w4.json"
+TAHOE_RESULTS_DIR="$PROFILE_TMP" cargo run --release -p tahoe-bench --bin report_md
+grep -q "## Kernel profiles" "$PROFILE_TMP/SUMMARY.md"
+rm -rf "$PROFILE_TMP"

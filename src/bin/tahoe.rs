@@ -8,6 +8,7 @@
 //!               [--batch N] [--out predictions.csv]
 //! tahoe bench   --model model.json --data <name|file.csv> [--device p100]
 //! tahoe inspect --model model.json
+//! tahoe profile --profile profiles.json [--top N]
 //! ```
 //!
 //! `--data` accepts either a Table 2 dataset name (synthetic generation) or a
@@ -20,6 +21,7 @@ use tahoe_repro::datasets::{
     self, Dataset, DatasetSpec, Scale, Task,
 };
 use tahoe_repro::engine::engine::{Engine, EngineOptions};
+use tahoe_repro::engine::profile::{HistogramExport, ProfilesExport};
 use tahoe_repro::engine::strategy::Strategy;
 use tahoe_repro::engine::telemetry::TelemetrySink;
 use tahoe_repro::forest::train::gbdt::{self, GbdtParams};
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "infer" => cmd_infer(&flags),
         "bench" => cmd_bench(&flags),
         "inspect" => cmd_inspect(&flags),
+        "profile" => cmd_profile(&flags),
         "--help" | "-h" | "help" => {
             print!("{HELP}");
             Ok(())
@@ -65,6 +68,7 @@ commands:
   infer    run inference with the Tahoe engine on a simulated GPU
   bench    compare all four inference strategies on a dataset
   inspect  print a saved forest's structure summary
+  profile  pretty-print a kernel-profile export (see --profile below)
 
 common flags:
   --data <name|file.csv>   Table 2 dataset name or CSV path (label last)
@@ -80,6 +84,10 @@ common flags:
   --prune EPS              collapse near-constant subtrees after training
   --trace <file.json>      write a Chrome trace (chrome://tracing, Perfetto)
   --metrics <file.json>    write a flat telemetry counter snapshot
+  --profile <file.json>    infer/bench: write per-kernel profiles, latency
+                           histograms, and model-drift records;
+                           profile: the export file to pretty-print
+  --top N                  profile: kernels to show, by simulated time (10)
 ";
 
 /// Parsed `--flag value` pairs.
@@ -98,6 +106,8 @@ struct Flags {
     prune: Option<f32>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    top: Option<usize>,
 }
 
 impl Flags {
@@ -117,6 +127,8 @@ impl Flags {
             prune: None,
             trace: None,
             metrics: None,
+            profile: None,
+            top: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -152,6 +164,8 @@ impl Flags {
                 }
                 "--trace" => f.trace = Some(PathBuf::from(value()?)),
                 "--metrics" => f.metrics = Some(PathBuf::from(value()?)),
+                "--profile" => f.profile = Some(PathBuf::from(value()?)),
+                "--top" => f.top = Some(parse_num(&value()?, "--top")?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -167,10 +181,10 @@ impl Flags {
         }
     }
 
-    /// Telemetry sink for the run: recording iff `--trace` or `--metrics`
-    /// was given.
+    /// Telemetry sink for the run: recording iff `--trace`, `--metrics`, or
+    /// `--profile` was given.
     fn sink(&self) -> TelemetrySink {
-        if self.trace.is_some() || self.metrics.is_some() {
+        if self.trace.is_some() || self.metrics.is_some() || self.profile.is_some() {
             TelemetrySink::recording()
         } else {
             TelemetrySink::Disabled
@@ -188,6 +202,11 @@ impl Flags {
             std::fs::write(path, sink.metrics_json())
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
             println!("wrote metrics snapshot to {}", path.display());
+        }
+        if let Some(path) = &self.profile {
+            std::fs::write(path, sink.profiles_json())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote kernel profiles to {}", path.display());
         }
         Ok(())
     }
@@ -387,6 +406,107 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     let auto = engine.infer(&batch);
     println!("model selects: {}", auto.strategy);
     flags.export_telemetry(&sink)
+}
+
+fn cmd_profile(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .profile
+        .as_deref()
+        .ok_or("missing --profile <file.json> (an export written by infer/bench --profile)")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let export = ProfilesExport::from_json(&text)
+        .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    print_profile_report(&export, flags.top.unwrap_or(10));
+    Ok(())
+}
+
+/// Pretty-prints a profiler export: top-N kernels by simulated time with
+/// their wall-time breakdowns, then histograms and model-drift summary.
+fn print_profile_report(export: &ProfilesExport, top: usize) {
+    println!("kernel launches: {}", export.kernels.len());
+    let mut order: Vec<usize> = (0..export.kernels.len()).collect();
+    order.sort_by(|&a, &b| {
+        export.kernels[b]
+            .total_ns
+            .partial_cmp(&export.kernels[a].total_ns)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (rank, &i) in order.iter().take(top).enumerate() {
+        let k = &export.kernels[i];
+        let b = &k.breakdown;
+        let pct = |part: f64| 100.0 * part / k.total_ns.max(f64::MIN_POSITIVE);
+        println!(
+            "#{:<2} {:<26} {:>12.1} us  on {}",
+            rank + 1,
+            k.label,
+            k.total_ns / 1e3,
+            k.device
+        );
+        println!(
+            "    grid {} x {} thr, {} B smem/block, {} waves; occupancy {:.0}% (limited by {})",
+            k.grid_blocks,
+            k.threads_per_block,
+            k.smem_per_block,
+            k.waves,
+            100.0 * k.achieved_occupancy,
+            k.occupancy_limiter.as_str()
+        );
+        println!(
+            "    warp-exec {:.1}%  gmem coalescing {:.1}% ({:.2} txn/req)  roofline {:.1}%",
+            100.0 * k.warp_exec_efficiency,
+            100.0 * k.gmem_coalescing_efficiency,
+            k.transactions_per_request,
+            100.0 * k.roofline_utilization
+        );
+        println!(
+            "    traversal {:.1}%  staging {:.1}%  block-red {:.1}%  global-red {:.1}%  bw-stall {:.1}%",
+            pct(b.traversal_ns),
+            pct(b.staging_ns),
+            pct(b.block_reduction_ns),
+            pct(b.global_reduction_ns),
+            pct(b.bandwidth_stall_ns)
+        );
+    }
+    print_histogram("kernel durations", &export.kernel_durations);
+    print_histogram("serving latencies", &export.serving_latencies);
+    if export.drift.is_empty() {
+        println!("model drift: no records");
+    } else {
+        println!("model drift (|predicted - simulated| / simulated):");
+        let mut by_strategy: std::collections::BTreeMap<&str, (u64, f64, f64)> =
+            std::collections::BTreeMap::new();
+        for d in &export.drift {
+            let e = by_strategy.entry(d.strategy.as_str()).or_insert((0, 0.0, 0.0));
+            e.0 += 1;
+            e.1 += d.relative_error.abs();
+            e.2 = e.2.max(d.relative_error.abs());
+        }
+        for (strategy, (n, sum, max)) in by_strategy {
+            println!(
+                "  {:<26} {:>3} launches  mean {:>6.1}%  max {:>6.1}%",
+                strategy,
+                n,
+                100.0 * sum / n as f64,
+                100.0 * max
+            );
+        }
+    }
+}
+
+fn print_histogram(name: &str, hist: &HistogramExport) {
+    if hist.count == 0 {
+        println!("{name}: no samples");
+        return;
+    }
+    println!(
+        "{name}: {} samples  mean {:.1} us  p50 <= {:.1} us  p99 <= {:.1} us  max {:.1} us",
+        hist.count,
+        hist.mean_ns() / 1e3,
+        hist.quantile_upper_ns(0.50) as f64 / 1e3,
+        hist.quantile_upper_ns(0.99) as f64 / 1e3,
+        hist.max_ns as f64 / 1e3
+    );
 }
 
 fn cmd_inspect(flags: &Flags) -> Result<(), String> {

@@ -92,6 +92,47 @@ fn unknown_flags_and_missing_data_fail_cleanly() {
 }
 
 #[test]
+fn profile_export_and_pretty_print() {
+    let model = temp_path("profile_model.json");
+    let profile = temp_path("profile_export.json");
+    let out = cli()
+        .args(["train", "--data", "letter", "--scale", "smoke"])
+        .args(["--model", model.to_str().unwrap()])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["bench", "--data", "letter", "--scale", "smoke"])
+        .args(["--model", model.to_str().unwrap()])
+        .args(["--profile", profile.to_str().unwrap()])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote kernel profiles"));
+    let written = std::fs::read_to_string(&profile).expect("profiles written");
+    assert!(written.contains("\"kernels\""), "export payload: {written}");
+
+    let out = cli()
+        .args(["profile", "--profile", profile.to_str().unwrap(), "--top", "3"])
+        .output()
+        .expect("run profile");
+    assert!(out.status.success(), "profile failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("kernel launches:"), "report header: {text}");
+    assert!(text.contains("occupancy"), "per-kernel lines: {text}");
+    assert!(text.contains("model drift"), "drift summary: {text}");
+
+    // The subcommand fails cleanly without an export to read.
+    let out = cli().args(["profile"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile"));
+
+    std::fs::remove_file(&model).ok();
+    std::fs::remove_file(&profile).ok();
+}
+
+#[test]
 fn forced_infeasible_strategy_is_rejected() {
     let model = temp_path("infeasible.json");
     // Smoke-scale higgs at depth 10 with many trees stays small, so force a

@@ -150,6 +150,11 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
                 sink_par.metrics_json(),
                 "{dataset}/{s}: metrics snapshot differs across worker counts"
             );
+            assert_eq!(
+                sink_seq.profiles_json(),
+                sink_par.profiles_json(),
+                "{dataset}/{s}: kernel profiles differ across worker counts"
+            );
         }
     }
 }

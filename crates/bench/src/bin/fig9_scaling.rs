@@ -5,4 +5,5 @@ fn main() {
     let env = tahoe_bench::Env::from_args();
     let result = tahoe_bench::experiments::scaling::run(&env);
     tahoe_bench::experiments::scaling::report(&result);
+    env.export_telemetry();
 }

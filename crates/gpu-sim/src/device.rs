@@ -178,6 +178,41 @@ impl DeviceSpec {
         }
     }
 
+    /// A copy of the spec running `slowdown`× slower than nominal: every
+    /// latency and per-step cost scales up by `slowdown`, both bandwidths
+    /// scale down by it — the coherent effect of a lower boost clock, so
+    /// the roofline invariant is preserved. Capacities, geometry, and
+    /// memory-level parallelism are silicon, not clocks, and are unchanged.
+    ///
+    /// Models the "silicon lottery": nominally identical boards in one
+    /// chassis sustain slightly different clocks (binning, thermals). A
+    /// multi-GPU cluster uses this to give replicated devices distinct but
+    /// deterministic execution speeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slowdown` is finite and >= 1 (a device cannot beat
+    /// its own nominal calibration).
+    #[must_use]
+    pub fn downclocked(&self, slowdown: f64) -> Self {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "slowdown must be finite and >= 1, got {slowdown}"
+        );
+        Self {
+            gmem_bytes_per_ns: self.gmem_bytes_per_ns / slowdown,
+            smem_bytes_per_ns: self.smem_bytes_per_ns / slowdown,
+            gmem_latency_ns: self.gmem_latency_ns * slowdown,
+            smem_latency_ns: self.smem_latency_ns * slowdown,
+            node_eval_ns: self.node_eval_ns * slowdown,
+            block_reduce_ns_per_thread: self.block_reduce_ns_per_thread * slowdown,
+            block_reduce_base_ns: self.block_reduce_base_ns * slowdown,
+            global_reduce_ns_per_block: self.global_reduce_ns_per_block * slowdown,
+            global_reduce_base_ns: self.global_reduce_base_ns * slowdown,
+            ..self.clone()
+        }
+    }
+
     /// Per-SM share of global-memory bandwidth (bytes/ns).
     #[must_use]
     pub fn gmem_bytes_per_ns_per_sm(&self) -> f64 {
@@ -319,5 +354,28 @@ mod tests {
     fn shared_memory_grows_with_generation() {
         let devs = DeviceSpec::paper_devices();
         assert!(devs[2].shared_mem_per_block > devs[0].shared_mem_per_block);
+    }
+
+    #[test]
+    fn downclocked_scales_times_up_and_bandwidth_down() {
+        let base = DeviceSpec::tesla_v100();
+        let slow = base.downclocked(1.01);
+        slow.validate().unwrap();
+        assert!(slow.gmem_latency_ns > base.gmem_latency_ns);
+        assert!(slow.node_eval_ns > base.node_eval_ns);
+        assert!(slow.gmem_bytes_per_ns < base.gmem_bytes_per_ns);
+        assert!(slow.smem_bytes_per_ns < base.smem_bytes_per_ns);
+        // Silicon (capacity/geometry) is untouched by a clock change.
+        assert_eq!(slow.num_sms, base.num_sms);
+        assert_eq!(slow.dram_bytes, base.dram_bytes);
+        assert_eq!(slow.mlp.to_bits(), base.mlp.to_bits());
+        // Unit slowdown is the identity.
+        assert_eq!(base.downclocked(1.0), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be finite and >= 1")]
+    fn overclocking_is_rejected() {
+        let _ = DeviceSpec::tesla_v100().downclocked(0.99);
     }
 }

@@ -1,34 +1,22 @@
-//! Multi-device data parallelism (paper §7.5 scaling experiments).
+//! Multi-device data partitioning (paper §7.5 scaling experiments).
 //!
 //! The paper partitions the inference dataset across GPUs with no
 //! inter-device communication during inference; total time is the slowest
 //! device's time (strong scaling) and weak scaling duplicates the dataset.
+//!
+//! This module holds only the partitioning arithmetic. Actual multi-device
+//! execution lives in `tahoe::cluster::GpuCluster`, which runs one full
+//! `Engine` (own `DeviceMemory`, own simulated clock, own telemetry sink)
+//! per device and merges results in device-index order.
 
 use std::ops::Range;
 
-/// Result of a data-parallel multi-device run.
-#[derive(Clone, Debug, PartialEq)]
-pub struct MultiGpuRun {
-    /// Simulated time per device (ns).
-    pub per_device_ns: Vec<f64>,
-    /// End-to-end time: the slowest device (ns).
-    pub total_ns: f64,
-}
-
-impl MultiGpuRun {
-    /// Parallel efficiency versus a single device taking `single_ns`.
-    #[must_use]
-    pub fn speedup_over(&self, single_ns: f64) -> f64 {
-        if self.total_ns == 0.0 {
-            0.0
-        } else {
-            single_ns / self.total_ns
-        }
-    }
-}
-
 /// Evenly partitions `n_items` across `n_devices`; partition `i` gets the
 /// remainder spread over the first partitions (sizes differ by at most 1).
+///
+/// # Panics
+///
+/// Panics when `n_devices == 0`.
 #[must_use]
 pub fn partition(n_items: usize, n_devices: usize) -> Vec<Range<usize>> {
     assert!(n_devices > 0, "need at least one device");
@@ -42,27 +30,6 @@ pub fn partition(n_items: usize, n_devices: usize) -> Vec<Range<usize>> {
         start += len;
     }
     out
-}
-
-/// Runs `simulate` once per device partition and combines the times.
-///
-/// `simulate(device_idx, range)` returns the simulated ns for that partition
-/// (0 is fine for an empty partition).
-pub fn data_parallel<F>(n_devices: usize, n_items: usize, mut simulate: F) -> MultiGpuRun
-where
-    F: FnMut(usize, Range<usize>) -> f64,
-{
-    let parts = partition(n_items, n_devices);
-    let per_device_ns: Vec<f64> = parts
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| simulate(i, r))
-        .collect();
-    let total_ns = per_device_ns.iter().copied().fold(0.0f64, f64::max);
-    MultiGpuRun {
-        per_device_ns,
-        total_ns,
-    }
 }
 
 #[cfg(test)]
@@ -88,21 +55,6 @@ mod tests {
         let parts = partition(3, 8);
         let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
         assert_eq!(nonempty, 3);
-    }
-
-    #[test]
-    fn total_is_slowest_device() {
-        let run = data_parallel(4, 100, |i, r| (r.len() * (i + 1)) as f64);
-        assert_eq!(run.per_device_ns.len(), 4);
-        assert_eq!(run.total_ns, run.per_device_ns[3]);
-    }
-
-    #[test]
-    fn perfect_scaling_halves_time() {
-        // Linear-cost workload: doubling devices halves the max partition.
-        let one = data_parallel(1, 1_000, |_, r| r.len() as f64);
-        let two = data_parallel(2, 1_000, |_, r| r.len() as f64);
-        assert!((two.speedup_over(one.total_ns) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -344,6 +344,22 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Folds another histogram into this one. Bucket edges are fixed, so
+    /// merging is a plain element-wise sum — used when a cluster absorbs a
+    /// device sink's histograms into the cluster-wide store.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Flat export (non-empty buckets only).
     #[must_use]
     pub fn export(&self) -> HistogramExport {
@@ -470,6 +486,16 @@ pub struct ProfileStore {
 }
 
 impl ProfileStore {
+    /// Appends another store's launch-ordered records and folds its
+    /// histograms in. Callers (the cluster absorb path) must invoke this in
+    /// device-index order so the merged export is deterministic.
+    pub(crate) fn merge_from(&mut self, mut other: ProfileStore) {
+        self.kernels.append(&mut other.kernels);
+        self.kernel_durations.merge(&other.kernel_durations);
+        self.serving_latencies.merge(&other.serving_latencies);
+        self.drift.append(&mut other.drift);
+    }
+
     fn export(&self) -> ProfilesExport {
         ProfilesExport {
             kernels: self.kernels.clone(),
@@ -703,6 +729,27 @@ mod tests {
         assert_eq!(e.quantile_upper_ns(0.0), 1);
         assert_eq!(e.quantile_upper_ns(0.5), 2);
         assert_eq!(e.quantile_upper_ns(1.0), 1024);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut combined = LatencyHistogram::default();
+        for ns in [0.0, 5.0, 100.0] {
+            a.record(ns);
+            combined.record(ns);
+        }
+        for ns in [2.0, 1_000_000.0] {
+            b.record(ns);
+            combined.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        // Merging an empty histogram is a no-op, even on the min field.
+        let before = a.clone();
+        a.merge(&LatencyHistogram::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -46,6 +46,19 @@ pub const PID_ENGINE: u32 = 2;
 /// Chrome-trace process id for serving-simulation spans (queue/execute).
 pub const PID_SERVING: u32 = 3;
 
+/// Pid stride between cluster devices: device `d`'s layers occupy pids
+/// `d * PID_DEVICE_STRIDE + {PID_GPU, PID_ENGINE, PID_SERVING}`, so device 0
+/// keeps the canonical pids and every device gets its own process group in
+/// the exported trace.
+pub const PID_DEVICE_STRIDE: u32 = 10;
+
+/// Chrome-trace pid of `base_pid`'s layer on cluster device `device_idx`
+/// (identity for device 0).
+#[must_use]
+pub const fn device_pid(base_pid: u32, device_idx: usize) -> u32 {
+    base_pid + PID_DEVICE_STRIDE * device_idx as u32
+}
+
 /// Typed telemetry counters.
 ///
 /// Discriminants index [`CounterRegistry`]'s fixed array; keep them dense.
@@ -131,6 +144,15 @@ impl Counter {
         Counter::ServingBatches,
         Counter::ServingRequests,
     ];
+
+    /// Whether this entry is a gauge (maintained with `set`/`max`) rather
+    /// than a monotonic counter. Gauges are excluded from cross-sink merges:
+    /// summing point-in-time snapshots double-counts, so an aggregating
+    /// layer (e.g. the cluster) recomputes them from the live allocators.
+    #[must_use]
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Counter::AllocInUseBytes | Counter::AllocHighWaterBytes)
+    }
 
     /// Snake-case name used in the metrics snapshot.
     #[must_use]
@@ -382,6 +404,75 @@ impl TelemetrySink {
                 .entry(pid)
                 .or_insert_with(|| name.to_string());
         }
+    }
+
+    /// Current value of one counter (0 when disabled).
+    #[must_use]
+    pub fn counter_value(&self, c: Counter) -> u64 {
+        match self {
+            TelemetrySink::Disabled => 0,
+            TelemetrySink::Recording(inner) => inner.counters.lock().get(c),
+        }
+    }
+
+    /// Drains a cluster device's private sink into this (cluster-wide) one,
+    /// remapping every span's pid with [`device_pid`] so each device keeps
+    /// its own process group in the exported trace.
+    ///
+    /// Monotonic counters are added and reset on `source`; gauges are left
+    /// untouched (the caller recomputes cluster-wide footprints from the
+    /// live allocators — see [`Counter::is_gauge`]). Kernel profiles,
+    /// histograms, and drift records move over wholesale. Spans on the
+    /// engine's *host* track ([`PID_ENGINE`] tid 0: rearrange/convert/tune)
+    /// are wall-clock measured and vary run to run, so they are dropped —
+    /// this is what keeps cluster exports byte-identical at any
+    /// `TAHOE_SIM_THREADS`. The caller must invoke this in device-index
+    /// order, from one thread, after all per-device simulation finished.
+    ///
+    /// No-op when either sink is disabled or both share one recording.
+    pub fn absorb_device(&self, source: &TelemetrySink, device_idx: usize, device_label: &str) {
+        let (TelemetrySink::Recording(dst), TelemetrySink::Recording(src)) = (self, source)
+        else {
+            return;
+        };
+        if Arc::ptr_eq(dst, src) {
+            return;
+        }
+        let drained = std::mem::take(&mut *src.spans.lock());
+        let mut remapped: Vec<SpanEvent> = drained
+            .into_iter()
+            .filter(|s| !(s.pid == PID_ENGINE && s.tid == 0))
+            .map(|mut s| {
+                s.pid = device_pid(s.pid, device_idx);
+                s
+            })
+            .collect();
+        dst.spans.lock().append(&mut remapped);
+        {
+            let src_names = src.process_names.lock();
+            let mut dst_names = dst.process_names.lock();
+            for (pid, name) in src_names.iter() {
+                dst_names
+                    .entry(device_pid(*pid, device_idx))
+                    .or_insert_with(|| format!("{name} [gpu{device_idx}: {device_label}]"));
+            }
+        }
+        {
+            let mut src_counters = src.counters.lock();
+            let mut dst_counters = dst.counters.lock();
+            for c in Counter::ALL {
+                if c.is_gauge() {
+                    continue;
+                }
+                let v = src_counters.get(c);
+                if v > 0 {
+                    dst_counters.add(c, v);
+                    src_counters.set(c, 0);
+                }
+            }
+        }
+        let store = std::mem::take(&mut *src.profiles.lock());
+        dst.profiles.lock().merge_from(store);
     }
 
     /// Flat snapshot of the recorded counters (empty when disabled).

@@ -209,6 +209,41 @@ impl Engine {
         engine
     }
 
+    /// Clones a fully converted engine for another device slot of the same
+    /// device model, executing on `device` (the slot's possibly
+    /// clock-perturbed spec), attaching `sink` as its telemetry handle and
+    /// zeroing the simulated clocks. The template's calibration (`hw`,
+    /// conversion, strategy stats) carries over — fleets calibrate once per
+    /// SKU, not per board.
+    ///
+    /// The clone shares nothing mutable with `self`: the capacity-modeled
+    /// `DeviceMemory` (with the forest image and any cached staging buffer
+    /// still resident) is copied wholesale, so each replica has independent
+    /// in-use/high-water accounting. Used by the multi-GPU cluster to avoid
+    /// re-running the CPU-side rearrange/convert/microbench pipeline once
+    /// per device on homogeneous clusters.
+    #[must_use]
+    pub fn replicate(&self, device: DeviceSpec, sink: TelemetrySink) -> Self {
+        let mut mem = self.mem.clone();
+        mem.attach_telemetry(&sink);
+        Self {
+            device,
+            hw: self.hw,
+            options: self.options,
+            forest: self.forest.clone(),
+            stats: self.stats,
+            device_forest: self.device_forest.clone(),
+            mem,
+            forest_buf: self.forest_buf,
+            sample_buf: self.sample_buf,
+            conversion: self.conversion,
+            counter: self.counter.clone(),
+            sink,
+            clock_ns: 0.0,
+            host_cursor_ns: 0.0,
+        }
+    }
+
     /// Full Tahoe on `device`.
     #[must_use]
     pub fn tahoe(device: DeviceSpec, forest: Forest) -> Self {

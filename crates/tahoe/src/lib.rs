@@ -15,6 +15,8 @@
 //!   model-guided strategy selection.
 //! - [`engine`] — the adaptive engine (Algorithm 1) and the FIL-equivalent
 //!   baseline.
+//! - [`cluster`] — the multi-GPU layer (§7.5): one engine per device with
+//!   private memory, clock, and telemetry, merged deterministically.
 //! - [`metrics`] — throughput / imbalance metrics used by the evaluation.
 //! - [`telemetry`] — span/counter recording across all layers, exported as
 //!   Chrome trace JSON and flat metrics snapshots (see `gpu-sim`'s
@@ -41,6 +43,7 @@
 //! assert_eq!(predictions.len(), infer.len());
 //! ```
 
+pub mod cluster;
 pub mod engine;
 pub mod format;
 pub mod metrics;
@@ -52,6 +55,7 @@ pub mod strategy;
 pub mod telemetry;
 pub mod tune;
 
+pub use cluster::{ClusterRun, DeviceRun, GpuCluster};
 pub use engine::{Engine, EngineOptions, InferenceResult};
 pub use format::{DeviceForest, FormatConfig, LayoutPlan};
 pub use perfmodel::{ModelInputs, Prediction};

@@ -16,9 +16,10 @@ use std::sync::OnceLock;
 
 use tahoe_datasets::SampleMatrix;
 
+use crate::cluster::GpuCluster;
 use crate::engine::Engine;
 use crate::strategy::Strategy;
-use crate::telemetry::{Counter, PID_SERVING};
+use crate::telemetry::{Counter, TelemetrySink, PID_SERVING};
 
 /// Dynamic-batching policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,6 +31,36 @@ pub struct BatchingPolicy {
 }
 
 impl BatchingPolicy {
+    /// A validated policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch == 0` (the dispatch arithmetic computes
+    /// `first + max_batch - 1` and a zero-capacity batch can never fill) or
+    /// when `max_delay_ns` is negative or non-finite (the deadline
+    /// `first_arrival + max_delay_ns` would poison every dispatch instant).
+    #[must_use]
+    pub fn new(max_batch: usize, max_delay_ns: f64) -> Self {
+        let policy = Self { max_batch, max_delay_ns };
+        policy.validate();
+        policy
+    }
+
+    /// Asserts the invariants of [`BatchingPolicy::new`] — re-checked at the
+    /// top of every trace replay so struct-literal policies are caught too.
+    ///
+    /// # Panics
+    ///
+    /// See [`BatchingPolicy::new`].
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            self.max_delay_ns.is_finite() && self.max_delay_ns >= 0.0,
+            "max_delay_ns must be finite and non-negative, got {}",
+            self.max_delay_ns
+        );
+    }
+
     /// A latency-oriented policy (small batches, tight deadline).
     #[must_use]
     pub fn low_latency() -> Self {
@@ -50,7 +81,7 @@ impl BatchingPolicy {
 }
 
 /// One dispatched batch's record.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BatchRecord {
     /// Requests served.
     pub size: usize,
@@ -163,6 +194,86 @@ impl ServingReport {
     }
 }
 
+/// Arrival instant and policy-ready dispatch instant of the batch whose
+/// oldest request is `first`: the batch is ready once either `max_batch`
+/// requests have arrived or the oldest one hits its deadline (never before
+/// it arrives). Shared verbatim by the single-engine and cluster
+/// dispatchers so a 1-device cluster reproduces [`ServingSim`]'s floats
+/// bit-for-bit.
+fn batch_ready_at(
+    first: usize,
+    n_requests: usize,
+    interarrival_ns: f64,
+    policy: &BatchingPolicy,
+) -> (f64, f64) {
+    let first_arrival = first as f64 * interarrival_ns;
+    let full_at = (first + policy.max_batch - 1).min(n_requests - 1) as f64 * interarrival_ns;
+    let deadline = first_arrival + policy.max_delay_ns;
+    (first_arrival, full_at.min(deadline).max(first_arrival))
+}
+
+/// Index of the last request that has arrived by `dispatch_at`. Float
+/// division alone can land one index low when `dispatch_at` sits exactly on
+/// an arrival instant (e.g. 3 × 0.1 / 0.1 < 3), so the quotient is
+/// corrected by multiplying back — request `i` has arrived iff
+/// `i * interarrival_ns <= dispatch_at`.
+fn last_arrival_by(
+    dispatch_at: f64,
+    first: usize,
+    n_requests: usize,
+    interarrival_ns: f64,
+) -> usize {
+    let mut last_arrived = ((dispatch_at / interarrival_ns).floor() as usize).min(n_requests - 1);
+    while last_arrived + 1 < n_requests
+        && (last_arrived + 1) as f64 * interarrival_ns <= dispatch_at
+    {
+        last_arrived += 1;
+    }
+    while last_arrived > first && last_arrived as f64 * interarrival_ns > dispatch_at {
+        last_arrived -= 1;
+    }
+    last_arrived
+}
+
+/// Emits one dispatched batch's serving spans (formation, optional queue
+/// wait, execution) into `sink`.
+fn batch_spans(
+    sink: &TelemetrySink,
+    idx: usize,
+    record: &BatchRecord,
+    first_arrival: f64,
+    ready_at: f64,
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let size = record.size;
+    let dispatch_at = record.dispatched_at_ns;
+    sink.span(
+        format!("batch {idx}: form ({size} requests)"),
+        PID_SERVING,
+        0,
+        first_arrival,
+        ready_at - first_arrival,
+    );
+    if dispatch_at > ready_at {
+        sink.span(
+            format!("batch {idx}: queue wait (GPU busy)"),
+            PID_SERVING,
+            1,
+            ready_at,
+            dispatch_at - ready_at,
+        );
+    }
+    sink.span(
+        format!("batch {idx}: execute ({})", record.strategy.name()),
+        PID_SERVING,
+        2,
+        dispatch_at,
+        record.gpu_ns,
+    );
+}
+
 /// Serving simulator: a request trace, a policy, and an engine.
 pub struct ServingSim<'e> {
     engine: &'e mut Engine,
@@ -193,6 +304,7 @@ impl<'e> ServingSim<'e> {
     ) -> ServingReport {
         assert!(samples.n_samples() > 0, "need request payloads");
         assert!(n_requests > 0, "need at least one request");
+        self.policy.validate();
         let n_payloads = samples.n_samples();
         let sink = self.engine.telemetry().clone();
         sink.name_process(PID_SERVING, "serving");
@@ -205,30 +317,14 @@ impl<'e> ServingSim<'e> {
             // have arrived, or the oldest waiting request hits the deadline
             // (whichever dispatch instant is earliest once the GPU is free).
             let first = next_request;
-            let first_arrival = first as f64 * interarrival_ns;
-            let full_at =
-                (first + self.policy.max_batch - 1).min(n_requests - 1) as f64 * interarrival_ns;
-            let deadline = first_arrival + self.policy.max_delay_ns;
+            let (first_arrival, ready_at) =
+                batch_ready_at(first, n_requests, interarrival_ns, &self.policy);
             // The policy is ready to dispatch at `ready_at`; an earlier batch
             // still on the GPU delays the actual dispatch past it.
-            let ready_at = full_at.min(deadline).max(first_arrival);
             let dispatch_at = ready_at.max(gpu_free_at);
             // Everything that has arrived by the dispatch instant (capped at
-            // max_batch) rides this batch. Float division alone can land one
-            // index low when `dispatch_at` sits exactly on an arrival
-            // instant (e.g. 3 × 0.1 / 0.1 < 3), so the quotient is corrected
-            // by multiplying back — request `i` has arrived iff
-            // `i * interarrival_ns <= dispatch_at`.
-            let mut last_arrived =
-                ((dispatch_at / interarrival_ns).floor() as usize).min(n_requests - 1);
-            while last_arrived + 1 < n_requests
-                && (last_arrived + 1) as f64 * interarrival_ns <= dispatch_at
-            {
-                last_arrived += 1;
-            }
-            while last_arrived > first && last_arrived as f64 * interarrival_ns > dispatch_at {
-                last_arrived -= 1;
-            }
+            // max_batch) rides this batch.
+            let last_arrived = last_arrival_by(dispatch_at, first, n_requests, interarrival_ns);
             let last = (last_arrived + 1).min(first + self.policy.max_batch);
             let size = last - first;
             let rows: Vec<usize> = (first..last).map(|r| r % n_payloads).collect();
@@ -241,32 +337,15 @@ impl<'e> ServingSim<'e> {
             let finished_at = dispatch_at + gpu_ns;
             sink.add(Counter::ServingBatches, 1);
             sink.add(Counter::ServingRequests, size as u64);
-            if sink.is_enabled() {
-                let idx = batches.len();
-                sink.span(
-                    format!("batch {idx}: form ({size} requests)"),
-                    PID_SERVING,
-                    0,
-                    first_arrival,
-                    ready_at - first_arrival,
-                );
-                if dispatch_at > ready_at {
-                    sink.span(
-                        format!("batch {idx}: queue wait (GPU busy)"),
-                        PID_SERVING,
-                        1,
-                        ready_at,
-                        dispatch_at - ready_at,
-                    );
-                }
-                sink.span(
-                    format!("batch {idx}: execute ({})", result.strategy.name()),
-                    PID_SERVING,
-                    2,
-                    dispatch_at,
-                    gpu_ns,
-                );
-            }
+            let record = BatchRecord {
+                size,
+                dispatched_at_ns: dispatch_at,
+                gpu_ns,
+                strategy: result.strategy,
+                chunks: result.chunks,
+                mem_in_use_bytes: result.mem_in_use_bytes,
+            };
+            batch_spans(&sink, batches.len(), &record, first_arrival, ready_at);
             for (i, lat) in latencies
                 .iter_mut()
                 .enumerate()
@@ -276,14 +355,7 @@ impl<'e> ServingSim<'e> {
                 let arrival = i as f64 * interarrival_ns;
                 *lat = finished_at - arrival;
             }
-            batches.push(BatchRecord {
-                size,
-                dispatched_at_ns: dispatch_at,
-                gpu_ns,
-                strategy: result.strategy,
-                chunks: result.chunks,
-                mem_in_use_bytes: result.mem_in_use_bytes,
-            });
+            batches.push(record);
             gpu_free_at = finished_at;
             next_request = last;
         }
@@ -298,6 +370,167 @@ impl<'e> ServingSim<'e> {
             gpu_free_at,
             self.engine.memory().high_water_bytes(),
         )
+    }
+}
+
+/// One device's aggregate share of a cluster serving trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceServingStats {
+    /// Device index within the cluster.
+    pub device: usize,
+    /// Device model name.
+    pub device_name: String,
+    /// Batches this device executed.
+    pub batches: usize,
+    /// Requests this device served.
+    pub requests: usize,
+    /// Total simulated GPU time on this device (ns).
+    pub busy_ns: f64,
+    /// High-water simulated device-memory footprint (bytes).
+    pub mem_high_water_bytes: u64,
+}
+
+/// A [`ServingReport`] plus the per-device view of a cluster trace.
+#[derive(Clone, Debug)]
+pub struct ClusterServingReport {
+    /// Cluster-wide statistics, shaped exactly like the single-engine
+    /// report (1-device clusters reproduce it bit-for-bit). The memory
+    /// high water is summed across devices.
+    pub report: ServingReport,
+    /// Device that executed batch `i` (parallel to `report.batches`).
+    pub batch_devices: Vec<usize>,
+    /// Per-device aggregates, one entry per cluster device (devices that
+    /// never ran a batch report zeros).
+    pub per_device: Vec<DeviceServingStats>,
+}
+
+/// Multi-GPU serving: one batching queue feeding N device engines.
+///
+/// Batch formation follows the same policy arithmetic as [`ServingSim`];
+/// each ready batch is dispatched to the device that frees up earliest,
+/// with the lowest index winning ties — a deterministic rule, so the
+/// device assignment is a pure function of the trace. Devices execute
+/// batches concurrently on the simulated timeline (each tracks its own
+/// `free_at` clock) while the simulation itself stays sequential on the
+/// caller thread.
+pub struct ClusterServingSim<'c> {
+    cluster: &'c mut GpuCluster,
+    policy: BatchingPolicy,
+}
+
+impl<'c> ClusterServingSim<'c> {
+    /// Wraps a cluster with a batching policy.
+    pub fn new(cluster: &'c mut GpuCluster, policy: BatchingPolicy) -> Self {
+        Self { cluster, policy }
+    }
+
+    /// Replays a constant-rate request trace across the cluster (the
+    /// multi-GPU analogue of [`ServingSim::run_uniform_trace`]).
+    ///
+    /// Telemetry for each batch lands in the executing device's private
+    /// sink; the cluster's telemetry is flushed (device-index order) before
+    /// returning, so the caller can export immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample matrix is empty, `n_requests == 0`, or the
+    /// policy fails validation.
+    #[must_use]
+    pub fn run_uniform_trace(
+        &mut self,
+        samples: &SampleMatrix,
+        n_requests: usize,
+        interarrival_ns: f64,
+    ) -> ClusterServingReport {
+        assert!(samples.n_samples() > 0, "need request payloads");
+        assert!(n_requests > 0, "need at least one request");
+        self.policy.validate();
+        let n_payloads = samples.n_samples();
+        let n_devices = self.cluster.n_devices();
+        for d in 0..n_devices {
+            self.cluster.device_sink(d).name_process(PID_SERVING, "serving");
+        }
+        let mut batches = Vec::new();
+        let mut batch_devices = Vec::new();
+        let mut latencies = vec![0.0f64; n_requests];
+        let mut free_at = vec![0.0f64; n_devices];
+        let mut dev_batches = vec![0usize; n_devices];
+        let mut dev_requests = vec![0usize; n_devices];
+        let mut dev_busy_ns = vec![0.0f64; n_devices];
+        let mut next_request = 0usize;
+        while next_request < n_requests {
+            let first = next_request;
+            let (first_arrival, ready_at) =
+                batch_ready_at(first, n_requests, interarrival_ns, &self.policy);
+            // Earliest-free device; ascending scan with strict `<` keeps the
+            // lowest index on ties, so the assignment is deterministic.
+            let mut dev = 0usize;
+            for (i, &f) in free_at.iter().enumerate().skip(1) {
+                if f < free_at[dev] {
+                    dev = i;
+                }
+            }
+            let dispatch_at = ready_at.max(free_at[dev]);
+            let last_arrived = last_arrival_by(dispatch_at, first, n_requests, interarrival_ns);
+            let last = (last_arrived + 1).min(first + self.policy.max_batch);
+            let size = last - first;
+            let rows: Vec<usize> = (first..last).map(|r| r % n_payloads).collect();
+            let batch = samples.select(&rows);
+            let engine = self.cluster.engine_mut(dev);
+            engine.set_sim_clock_ns(dispatch_at);
+            let result = engine.infer(&batch);
+            let gpu_ns = result.run.kernel.total_ns;
+            let finished_at = dispatch_at + gpu_ns;
+            let dsink = self.cluster.device_sink(dev);
+            dsink.add(Counter::ServingBatches, 1);
+            dsink.add(Counter::ServingRequests, size as u64);
+            let record = BatchRecord {
+                size,
+                dispatched_at_ns: dispatch_at,
+                gpu_ns,
+                strategy: result.strategy,
+                chunks: result.chunks,
+                mem_in_use_bytes: result.mem_in_use_bytes,
+            };
+            batch_spans(dsink, batches.len(), &record, first_arrival, ready_at);
+            for (i, lat) in latencies.iter_mut().enumerate().take(last).skip(first) {
+                let arrival = i as f64 * interarrival_ns;
+                *lat = finished_at - arrival;
+            }
+            batches.push(record);
+            batch_devices.push(dev);
+            dev_batches[dev] += 1;
+            dev_requests[dev] += size;
+            dev_busy_ns[dev] += gpu_ns;
+            free_at[dev] = finished_at;
+            next_request = last;
+        }
+        let makespan_ns = free_at.iter().copied().fold(0.0f64, f64::max);
+        // Latencies are a cluster-level statistic: recorded once into the
+        // cluster sink (after the device absorb below they sit next to the
+        // devices' kernel histograms in one export).
+        if self.cluster.telemetry().is_enabled() {
+            self.cluster.telemetry().record_serving_latencies(&latencies);
+        }
+        self.cluster.flush_telemetry();
+        let per_device = (0..n_devices)
+            .map(|d| DeviceServingStats {
+                device: d,
+                device_name: self.cluster.engine(d).device().name.to_string(),
+                batches: dev_batches[d],
+                requests: dev_requests[d],
+                busy_ns: dev_busy_ns[d],
+                mem_high_water_bytes: self.cluster.engine(d).memory().high_water_bytes(),
+            })
+            .collect();
+        let mem_high_water_bytes: u64 = (0..n_devices)
+            .map(|d| self.cluster.engine(d).memory().high_water_bytes())
+            .sum();
+        ClusterServingReport {
+            report: ServingReport::new(batches, latencies, makespan_ns, mem_high_water_bytes),
+            batch_devices,
+            per_device,
+        }
     }
 }
 
@@ -434,6 +667,106 @@ mod tests {
     fn percentile_rejects_out_of_range() {
         let r = ServingReport::new(Vec::new(), vec![1.0], 1.0, 0);
         let _ = r.latency_percentile_ns(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be at least 1")]
+    fn zero_max_batch_is_rejected() {
+        let _ = BatchingPolicy::new(0, 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay_ns must be finite and non-negative")]
+    fn negative_delay_is_rejected() {
+        let _ = BatchingPolicy::new(64, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay_ns must be finite and non-negative")]
+    fn non_finite_delay_is_rejected() {
+        let _ = BatchingPolicy::new(64, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be at least 1")]
+    fn struct_literal_zero_policy_is_caught_at_run() {
+        // The underflow this guards: `first + max_batch - 1` with
+        // max_batch == 0 wrapped before the validation existed.
+        let (mut e, samples) = engine();
+        let policy = BatchingPolicy { max_batch: 0, max_delay_ns: 1_000.0 };
+        let mut sim = ServingSim::new(&mut e, policy);
+        let _ = sim.run_uniform_trace(&samples, 10, 100.0);
+    }
+
+    #[test]
+    fn validated_constructor_accepts_sane_policies() {
+        let p = BatchingPolicy::new(64, 0.0);
+        assert_eq!(p.max_batch, 64);
+        assert_eq!(p.max_delay_ns, 0.0);
+    }
+
+    fn cluster(n: usize) -> (crate::cluster::GpuCluster, SampleMatrix) {
+        use tahoe_gpu_sim::device::DeviceSpec;
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let options = EngineOptions {
+            functional: false,
+            ..EngineOptions::tahoe()
+        };
+        (
+            crate::cluster::GpuCluster::homogeneous(
+                &DeviceSpec::tesla_p100(),
+                n,
+                &forest,
+                options,
+            ),
+            infer.samples,
+        )
+    }
+
+    #[test]
+    fn cluster_serving_conserves_requests() {
+        let (mut c, samples) = cluster(3);
+        let mut sim = ClusterServingSim::new(&mut c, BatchingPolicy::low_latency());
+        let report = sim.run_uniform_trace(&samples, 500, 1_000.0);
+        assert_eq!(report.report.n_requests(), 500);
+        let served: usize = report.report.batches.iter().map(|b| b.size).sum();
+        assert_eq!(served, 500);
+        let per_device: usize = report.per_device.iter().map(|d| d.requests).sum();
+        assert_eq!(per_device, 500);
+        assert_eq!(report.batch_devices.len(), report.report.batches.len());
+        for (b, &d) in report.report.batches.iter().zip(&report.batch_devices) {
+            assert!(d < 3, "batch on unknown device");
+            assert!(b.size > 0);
+        }
+    }
+
+    #[test]
+    fn saturated_cluster_spreads_batches_across_devices() {
+        let (mut c, samples) = cluster(3);
+        // Arrivals far faster than the GPU: every device stays busy, so the
+        // earliest-free rule must rotate through all of them — and the first
+        // three batches land on devices 0, 1, 2 in order (all free at t=0,
+        // lowest index wins).
+        let policy = BatchingPolicy::new(32, 1e9);
+        let mut sim = ClusterServingSim::new(&mut c, policy);
+        let report = sim.run_uniform_trace(&samples, 2_000, 10.0);
+        assert!(report.batch_devices.len() >= 3);
+        assert_eq!(&report.batch_devices[..3], &[0, 1, 2]);
+        for d in &report.per_device {
+            assert!(d.batches > 0, "device {} never used", d.device);
+            assert!(d.busy_ns > 0.0);
+        }
+        // Makespan is the slowest device's finish line.
+        let busiest_finish = report
+            .report
+            .batches
+            .iter()
+            .map(|b| b.dispatched_at_ns + b.gpu_ns)
+            .fold(0.0f64, f64::max);
+        assert_eq!(report.report.makespan_ns.to_bits(), busiest_finish.to_bits());
     }
 
     #[test]

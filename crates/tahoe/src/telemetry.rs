@@ -6,8 +6,8 @@
 //! a [`crate::strategy::LaunchContext`] carries into every kernel launch.
 
 pub use tahoe_gpu_sim::telemetry::{
-    Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink, PID_ENGINE, PID_GPU,
-    PID_SERVING,
+    device_pid, Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink,
+    PID_DEVICE_STRIDE, PID_ENGINE, PID_GPU, PID_SERVING,
 };
 
 /// A disabled sink with `'static` lifetime, so contexts without telemetry

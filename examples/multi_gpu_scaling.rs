@@ -1,15 +1,16 @@
 //! Multi-GPU strong scaling (paper §7.5 / Fig. 9): partition the inference
-//! batch across simulated V100s and watch small datasets stop scaling.
+//! batch across a cluster of simulated V100s — one engine per device — and
+//! watch small datasets stop scaling.
 //!
 //! ```text
 //! cargo run --release --example multi_gpu_scaling [dataset]
 //! ```
 
 use tahoe_repro::datasets::{DatasetSpec, Scale};
-use tahoe_repro::engine::Engine;
-use tahoe_repro::forest::train_for_spec;
+use tahoe_repro::engine::cluster::GpuCluster;
+use tahoe_repro::engine::engine::EngineOptions;
 use tahoe_repro::gpu::device::DeviceSpec;
-use tahoe_repro::gpu::multigpu::{data_parallel, partition};
+use tahoe_repro::forest::train_for_spec;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "higgs".to_string());
@@ -20,26 +21,25 @@ fn main() {
     let data = spec.generate(Scale::Smoke);
     let (train, infer) = data.split_train_infer();
     let forest = train_for_spec(&spec, &train, Scale::Smoke);
-    let mut engine = Engine::tahoe(DeviceSpec::tesla_v100(), forest);
+    const MAX_GPUS: usize = 32;
+    let mut cluster = GpuCluster::homogeneous(
+        &DeviceSpec::tesla_v100(),
+        MAX_GPUS,
+        &forest,
+        EngineOptions::tahoe(),
+    );
 
-    println!("{name}: {} inference samples across 1..=32 simulated V100s\n", infer.len());
+    println!("{name}: {} inference samples across 1..={MAX_GPUS} simulated V100s\n", infer.len());
     println!("{:>5} {:>14} {:>10} {:>12}", "GPUs", "slowest (us)", "speedup", "efficiency");
     let mut single_ns = 0.0f64;
     for n_gpus in [1usize, 2, 4, 8, 16, 32] {
-        // Every partition is simulated; the batch ends when the slowest
-        // device finishes.
-        let run = data_parallel(n_gpus, infer.len(), |_, range| {
-            if range.is_empty() {
-                return 0.0;
-            }
-            let idx: Vec<usize> = range.collect();
-            let part = infer.samples.select(&idx);
-            engine.infer(&part).run.kernel.total_ns
-        });
+        // Every partition runs on its own engine; the batch ends when the
+        // slowest device finishes.
+        let run = cluster.infer_partitioned_across(&infer.samples, n_gpus);
         if n_gpus == 1 {
             single_ns = run.total_ns;
         }
-        let speedup = run.speedup_over(single_ns);
+        let speedup = single_ns / run.total_ns;
         println!(
             "{:>5} {:>14.1} {:>9.2}x {:>11.1}%",
             n_gpus,
@@ -47,7 +47,6 @@ fn main() {
             speedup,
             100.0 * speedup / n_gpus as f64
         );
-        let _ = partition(infer.len(), n_gpus); // See gpu::multigpu for the split.
     }
     println!(
         "\nsmall partitions stop filling the device (occupancy waves hit 1),\n\

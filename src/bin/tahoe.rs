@@ -7,6 +7,9 @@
 //!               [--strategy auto|shared-data|direct|shared-forest|splitting]
 //!               [--batch N] [--out predictions.csv]
 //! tahoe bench   --model model.json --data <name|file.csv> [--device p100]
+//! tahoe serve   --model model.json --data <name|file.csv>
+//!               [--gpus N | --devices k80,p100,v100] [--requests N]
+//!               [--interarrival NS] [--policy latency|throughput]
 //! tahoe inspect --model model.json
 //! tahoe profile --profile profiles.json [--top N]
 //! ```
@@ -20,8 +23,10 @@ use std::process::ExitCode;
 use tahoe_repro::datasets::{
     self, Dataset, DatasetSpec, Scale, Task,
 };
+use tahoe_repro::engine::cluster::GpuCluster;
 use tahoe_repro::engine::engine::{Engine, EngineOptions};
 use tahoe_repro::engine::profile::{HistogramExport, ProfilesExport};
+use tahoe_repro::engine::serving::{BatchingPolicy, ClusterServingSim};
 use tahoe_repro::engine::strategy::Strategy;
 use tahoe_repro::engine::telemetry::TelemetrySink;
 use tahoe_repro::forest::train::gbdt::{self, GbdtParams};
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "infer" => cmd_infer(&flags),
         "bench" => cmd_bench(&flags),
+        "serve" => cmd_serve(&flags),
         "inspect" => cmd_inspect(&flags),
         "profile" => cmd_profile(&flags),
         "--help" | "-h" | "help" => {
@@ -67,6 +73,7 @@ commands:
   train    train a forest on a dataset and save it as JSON
   infer    run inference with the Tahoe engine on a simulated GPU
   bench    compare all four inference strategies on a dataset
+  serve    replay a request trace through a simulated multi-GPU cluster
   inspect  print a saved forest's structure summary
   profile  pretty-print a kernel-profile export (see --profile below)
 
@@ -82,6 +89,12 @@ common flags:
   --batch N                inference batch size (default: whole dataset)
   --out <file>             write predictions as CSV
   --prune EPS              collapse near-constant subtrees after training
+  --gpus N                 serve: homogeneous cluster of N `--device`s (1)
+  --devices <a,b,...>      serve: heterogeneous mix, e.g. k80,p100,v100
+                           (overrides --gpus/--device)
+  --requests N             serve: requests in the uniform trace (1000)
+  --interarrival NS        serve: request interarrival gap in ns (1000)
+  --policy <p>             serve: latency|throughput batching (latency)
   --trace <file.json>      write a Chrome trace (chrome://tracing, Perfetto)
   --metrics <file.json>    write a flat telemetry counter snapshot
   --profile <file.json>    infer/bench: write per-kernel profiles, latency
@@ -102,6 +115,11 @@ struct Flags {
     task: Option<String>,
     strategy: Option<String>,
     batch: Option<usize>,
+    gpus: Option<usize>,
+    devices: Option<String>,
+    requests: Option<usize>,
+    interarrival: Option<f64>,
+    policy: Option<String>,
     out: Option<PathBuf>,
     prune: Option<f32>,
     trace: Option<PathBuf>,
@@ -123,6 +141,11 @@ impl Flags {
             task: None,
             strategy: None,
             batch: None,
+            gpus: None,
+            devices: None,
+            requests: None,
+            interarrival: None,
+            policy: None,
             out: None,
             prune: None,
             trace: None,
@@ -151,6 +174,20 @@ impl Flags {
                 "--task" => f.task = Some(value()?),
                 "--strategy" => f.strategy = Some(value()?),
                 "--batch" => f.batch = Some(parse_num(&value()?, "--batch")?),
+                "--gpus" => f.gpus = Some(parse_num(&value()?, "--gpus")?),
+                "--devices" => f.devices = Some(value()?),
+                "--requests" => f.requests = Some(parse_num(&value()?, "--requests")?),
+                "--interarrival" => {
+                    let v = value()?;
+                    let ns: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad number '{v}' for --interarrival"))?;
+                    if !(ns.is_finite() && ns >= 0.0) {
+                        return Err(format!("--interarrival must be finite and >= 0, got {v}"));
+                    }
+                    f.interarrival = Some(ns);
+                }
+                "--policy" => f.policy = Some(value()?),
                 "--out" => f.out = Some(PathBuf::from(value()?)),
                 "--prune" => {
                     let v = value()?;
@@ -173,11 +210,35 @@ impl Flags {
     }
 
     fn device(&self) -> Result<DeviceSpec, String> {
-        match self.device.as_deref().unwrap_or("p100") {
-            "k80" => Ok(DeviceSpec::tesla_k80()),
-            "p100" => Ok(DeviceSpec::tesla_p100()),
-            "v100" => Ok(DeviceSpec::tesla_v100()),
-            other => Err(format!("unknown device '{other}' (k80|p100|v100)")),
+        device_by_name(self.device.as_deref().unwrap_or("p100"))
+    }
+
+    /// The `serve` cluster: `--devices a,b,c` wins; otherwise `--gpus N`
+    /// copies of `--device` (default one P100).
+    fn cluster_devices(&self) -> Result<Vec<DeviceSpec>, String> {
+        if let Some(list) = &self.devices {
+            let devices: Vec<DeviceSpec> = list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| device_by_name(s.trim()))
+                .collect::<Result<_, _>>()?;
+            if devices.is_empty() {
+                return Err("--devices needs at least one device name".to_string());
+            }
+            return Ok(devices);
+        }
+        let n = self.gpus.unwrap_or(1);
+        if n == 0 {
+            return Err("--gpus must be at least 1".to_string());
+        }
+        Ok(vec![self.device()?; n])
+    }
+
+    fn batching_policy(&self) -> Result<BatchingPolicy, String> {
+        match self.policy.as_deref().unwrap_or("latency") {
+            "latency" => Ok(BatchingPolicy::low_latency()),
+            "throughput" => Ok(BatchingPolicy::high_throughput()),
+            other => Err(format!("unknown policy '{other}' (latency|throughput)")),
         }
     }
 
@@ -225,6 +286,15 @@ impl Flags {
 
 fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
     v.parse().map_err(|_| format!("bad number '{v}' for {flag}"))
+}
+
+fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
+    match name {
+        "k80" => Ok(DeviceSpec::tesla_k80()),
+        "p100" => Ok(DeviceSpec::tesla_p100()),
+        "v100" => Ok(DeviceSpec::tesla_v100()),
+        other => Err(format!("unknown device '{other}' (k80|p100|v100)")),
+    }
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -405,6 +475,58 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     }
     let auto = engine.infer(&batch);
     println!("model selects: {}", auto.strategy);
+    flags.export_telemetry(&sink)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let (data, _) = load_data(flags)?;
+    let forest = load_model(flags, &data)?;
+    let devices = flags.cluster_devices()?;
+    let policy = flags.batching_policy()?;
+    let n_requests = flags.requests.unwrap_or(1_000).max(1);
+    let interarrival_ns = flags.interarrival.unwrap_or(1_000.0);
+    let payloads = batch_samples(flags, &data);
+    let sink = flags.sink();
+    let mut cluster =
+        GpuCluster::with_telemetry(devices, &forest, EngineOptions::tahoe(), sink.clone());
+    let report = ClusterServingSim::new(&mut cluster, policy)
+        .run_uniform_trace(&payloads, n_requests, interarrival_ns);
+    let r = &report.report;
+    println!(
+        "served {} requests in {} batches over {} device(s)  makespan {:.1} us",
+        r.n_requests(),
+        r.batches.len(),
+        report.per_device.len(),
+        r.makespan_ns / 1e3
+    );
+    println!(
+        "throughput {:.3} req/us  latency mean {:.1} us  p50 {:.1} us  p99 {:.1} us",
+        r.throughput_per_us(),
+        r.mean_latency_ns() / 1e3,
+        r.latency_percentile_ns(0.50) / 1e3,
+        r.latency_percentile_ns(0.99) / 1e3
+    );
+    println!(
+        "{:<4} {:<12} {:>8} {:>9} {:>12} {:>8} {:>12}",
+        "gpu", "device", "batches", "requests", "busy us", "util %", "mem high"
+    );
+    for d in &report.per_device {
+        let util = if r.makespan_ns > 0.0 {
+            100.0 * d.busy_ns / r.makespan_ns
+        } else {
+            0.0
+        };
+        println!(
+            "{:<4} {:<12} {:>8} {:>9} {:>12.1} {:>8.1} {:>12}",
+            d.device,
+            d.device_name,
+            d.batches,
+            d.requests,
+            d.busy_ns / 1e3,
+            util,
+            d.mem_high_water_bytes
+        );
+    }
     flags.export_telemetry(&sink)
 }
 

@@ -9,9 +9,13 @@
 //! `TAHOE_SIM_THREADS=1` and `TAHOE_SIM_THREADS=4` to exercise the
 //! environment-variable path.
 
+use tahoe::cluster::GpuCluster;
+use tahoe::engine::EngineOptions;
+use tahoe::serving::{BatchingPolicy, ClusterServingSim};
 use tahoe::strategy::testutil::{context, Fixture};
 use tahoe::strategy::{self, Strategy};
 use tahoe::telemetry::{TelemetryCtx, TelemetrySink};
+use tahoe_gpu_sim::device::DeviceSpec;
 use tahoe_gpu_sim::kernel::{Detail, KernelResult};
 use tahoe_gpu_sim::parallel::set_sim_threads;
 
@@ -157,6 +161,36 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
             );
         }
     }
+    // Multi-GPU cluster serving rides on the same guarantee: per-device
+    // sinks are absorbed in device-index order on the caller thread, so the
+    // merged exports must also be byte-identical at any worker count.
+    set_sim_threads(Some(1));
+    let (trace_seq, metrics_seq, profiles_seq) = cluster_serving_exports();
+    set_sim_threads(Some(4));
+    let (trace_par, metrics_par, profiles_par) = cluster_serving_exports();
+    set_sim_threads(None);
+    assert_eq!(trace_seq, trace_par, "cluster: Chrome trace differs across worker counts");
+    assert_eq!(metrics_seq, metrics_par, "cluster: metrics differ across worker counts");
+    assert_eq!(profiles_seq, profiles_par, "cluster: profiles differ across worker counts");
+}
+
+/// Exports from a heterogeneous multi-GPU serving trace, built under the
+/// current worker-count override (caller sets it — the override is
+/// process-global, so this only runs from the single override test above).
+fn cluster_serving_exports() -> (String, String, String) {
+    let fx = Fixture::trained("letter");
+    let sink = TelemetrySink::recording();
+    let devices = vec![
+        DeviceSpec::tesla_k80(),
+        DeviceSpec::tesla_p100(),
+        DeviceSpec::tesla_v100(),
+    ];
+    let mut cluster =
+        GpuCluster::with_telemetry(devices, &fx.forest, EngineOptions::tahoe(), sink.clone());
+    let report = ClusterServingSim::new(&mut cluster, BatchingPolicy::new(32, 10_000.0))
+        .run_uniform_trace(&fx.samples, 200, 50.0);
+    assert_eq!(report.report.n_requests(), 200);
+    (sink.chrome_trace_json(), sink.metrics_json(), sink.profiles_json())
 }
 
 /// Repeated runs under the ambient configuration (whatever

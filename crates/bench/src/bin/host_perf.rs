@@ -9,15 +9,29 @@
 //!
 //! The speedup is bounded by the host's core count (a 1-core CI box records
 //! ≈ 1×); the record includes the worker count so readers can interpret it.
+//!
+//! A second phase times the block-memo cache (DESIGN.md §2.12) on a
+//! repeated-geometry batch at `--detail full` — memo off vs memo on in one
+//! process via `set_sim_memo`, with the hit rate read back from the
+//! telemetry counters. The phase is a spot check as much as a benchmark: it
+//! exits non-zero if the repeated-geometry plan reports zero hits, which
+//! would mean the strategy key material regressed.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
+use tahoe::engine::{Engine, EngineOptions};
+use tahoe::strategy::Strategy;
+use tahoe::telemetry::TelemetrySink;
 use tahoe_bench::experiments::strategies::strategy_row;
 use tahoe_bench::experiments::HIGH_BATCH;
 use tahoe_bench::report::write_json;
-use tahoe_bench::{prepare_all, Env};
+use tahoe_bench::{prepare, prepare_all, Env};
+use tahoe_datasets::{DatasetSpec, SampleMatrix};
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::kernel::Detail;
+use tahoe_gpu_sim::memo::set_sim_memo;
 use tahoe_gpu_sim::parallel::{set_sim_threads, sim_threads};
 
 /// `BENCH_host_sim.json` record.
@@ -39,6 +53,56 @@ struct HostSimBench {
     scale: String,
     /// Sampled blocks per simulated kernel.
     detail: String,
+    /// Dataset the memo phase ran on (full detail, repeated-geometry batch).
+    memo_dataset: String,
+    /// Samples in the memo phase's batch.
+    memo_batch: usize,
+    /// Wall seconds of the memo phase with the cache off.
+    memo_off_s: f64,
+    /// Wall seconds of the memo phase with the cache on.
+    memo_on_s: f64,
+    /// `memo_off_s / memo_on_s`.
+    memo_speedup: f64,
+    /// Cache hits the memoized run recorded.
+    memo_hits: u64,
+    /// Cache misses (unique blocks actually simulated).
+    memo_misses: u64,
+    /// `memo_hits / (memo_hits + memo_misses)`.
+    memo_hit_rate: f64,
+}
+
+/// Tiles the first `m` rows of the inference split (`m` = largest power of
+/// two ≤ min(n, 512)) to `size` samples. A power-of-two tile keeps block
+/// windows repeating with a period of at most two blocks for any
+/// warp-multiple block size, so the memo cache is guaranteed repeats —
+/// unlike `batch_of`'s `i % n` tiling, whose period can exceed the grid.
+fn repeated_batch(samples: &SampleMatrix, size: usize) -> SampleMatrix {
+    let mut m = 1usize;
+    while m * 2 <= samples.n_samples().min(512) {
+        m *= 2;
+    }
+    let idx: Vec<usize> = (0..size).map(|i| i % m).collect();
+    samples.select(&idx)
+}
+
+/// Times the direct strategy on `batch` with the memo cache forced to
+/// `memo`, telemetry disabled (the hot path under test), best of two runs.
+fn timed_memo_run(p: &tahoe_bench::Prepared, batch: &SampleMatrix, memo: bool) -> f64 {
+    let opts = EngineOptions {
+        detail: Detail::Full,
+        functional: false,
+        ..EngineOptions::tahoe()
+    };
+    let mut engine = Engine::new(DeviceSpec::tesla_p100(), p.forest.clone(), opts);
+    set_sim_memo(Some(memo));
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let _ = engine.infer_with(batch, Some(Strategy::Direct));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    set_sim_memo(None);
+    best
 }
 
 fn main() {
@@ -64,6 +128,52 @@ fn main() {
     set_sim_threads(None);
     let workers = sim_threads(usize::MAX);
     let parallel_s = best_of_2(&format!("parallel ({workers} workers)"));
+
+    // Memo phase: full detail, direct strategy, letter, with the batch tiled
+    // so block geometry (and content) provably repeats.
+    let memo_dataset = "letter";
+    let memo_p = prepare(
+        &DatasetSpec::by_name(memo_dataset).expect("known dataset"),
+        env.scale,
+    );
+    let batch = repeated_batch(&memo_p.infer.samples, HIGH_BATCH);
+    let memo_off_s = timed_memo_run(&memo_p, &batch, false);
+    println!("[host_perf] memo off ({memo_dataset}, full detail): {memo_off_s:.2} s");
+    let memo_on_s = timed_memo_run(&memo_p, &batch, true);
+    println!("[host_perf] memo on  ({memo_dataset}, full detail): {memo_on_s:.2} s");
+    // Untimed recording run: read the hit rate back from the counters.
+    let sink = TelemetrySink::recording();
+    set_sim_memo(Some(true));
+    let mut engine = Engine::with_telemetry(
+        DeviceSpec::tesla_p100(),
+        memo_p.forest.clone(),
+        EngineOptions {
+            detail: Detail::Full,
+            functional: false,
+            ..EngineOptions::tahoe()
+        },
+        sink.clone(),
+    );
+    let _ = engine.infer_with(&batch, Some(Strategy::Direct));
+    set_sim_memo(None);
+    let snap = sink.snapshot();
+    let (memo_hits, memo_misses) = (snap.counters["memo_hits"], snap.counters["memo_misses"]);
+    if memo_hits == 0 {
+        eprintln!(
+            "[host_perf] FAIL: repeated-geometry batch ({} samples) reported zero memo hits \
+             ({memo_misses} misses) — strategy key material regressed",
+            batch.n_samples()
+        );
+        std::process::exit(1);
+    }
+    let memo_hit_rate = memo_hits as f64 / (memo_hits + memo_misses) as f64;
+    println!(
+        "[host_perf] memo hit rate {:.1}% ({memo_hits} hits / {memo_misses} misses), \
+         speedup {:.2}x",
+        100.0 * memo_hit_rate,
+        if memo_on_s > 0.0 { memo_off_s / memo_on_s } else { 1.0 }
+    );
+
     let record = HostSimBench {
         workers,
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -73,9 +183,17 @@ fn main() {
         datasets: prepared.len(),
         scale: format!("{:?}", env.scale).to_lowercase(),
         detail: match env.detail {
-            tahoe_gpu_sim::kernel::Detail::Full => "full".to_string(),
-            tahoe_gpu_sim::kernel::Detail::Sampled(n) => n.to_string(),
+            Detail::Full => "full".to_string(),
+            Detail::Sampled(n) => n.to_string(),
         },
+        memo_dataset: memo_dataset.to_string(),
+        memo_batch: batch.n_samples(),
+        memo_off_s,
+        memo_on_s,
+        memo_speedup: if memo_on_s > 0.0 { memo_off_s / memo_on_s } else { 1.0 },
+        memo_hits,
+        memo_misses,
+        memo_hit_rate,
     };
     println!(
         "[host_perf] speedup {:.2}x with {} workers on {} host cores",

@@ -345,9 +345,9 @@ fn kernel_profiles_section(v: &Value) -> Option<String> {
     let _ = writeln!(out, "\n## Kernel profiles");
     let _ = writeln!(
         out,
-        "| strategy | launches | occupancy | coalescing | traversal | staging | reduction | bw stall | model err |"
+        "| strategy | launches | occupancy | coalescing | traversal | staging | reduction | bw stall | memo hits | model err |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
     for label in labels {
         let ks: Vec<&Value> = kernels
             .iter()
@@ -375,9 +375,18 @@ fn kernel_profiles_section(v: &Value) -> Option<String> {
         } else {
             format!("{:.1}%", 100.0 * errors.iter().sum::<f64>() / errors.len() as f64)
         };
+        let sum_u64 = |key: &str| -> u64 {
+            ks.iter().filter_map(|k| k[key].as_u64()).sum()
+        };
+        let (hits, misses) = (sum_u64("memo_hits"), sum_u64("memo_misses"));
+        let memo = if hits + misses == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+        };
         let _ = writeln!(
             out,
-            "| {label} | {} | {:.0}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {model_err} |",
+            "| {label} | {} | {:.0}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {memo} | {model_err} |",
             ks.len(),
             100.0 * mean("achieved_occupancy"),
             100.0 * mean("gmem_coalescing_efficiency"),
@@ -421,11 +430,13 @@ mod tests {
               "kernels": [
                 {"label": "direct", "total_ns": 100.0, "achieved_occupancy": 0.5,
                  "gmem_coalescing_efficiency": 0.25,
+                 "memo_hits": 3, "memo_misses": 1,
                  "breakdown": {"traversal_ns": 80.0, "staging_ns": 0.0,
                                "block_reduction_ns": 0.0, "global_reduction_ns": 20.0,
                                "bandwidth_stall_ns": 0.0}},
                 {"label": "direct", "total_ns": 100.0, "achieved_occupancy": 1.0,
                  "gmem_coalescing_efficiency": 0.75,
+                 "memo_hits": 0, "memo_misses": 0,
                  "breakdown": {"traversal_ns": 100.0, "staging_ns": 0.0,
                                "block_reduction_ns": 0.0, "global_reduction_ns": 0.0,
                                "bandwidth_stall_ns": 0.0}},
@@ -450,14 +461,17 @@ mod tests {
         .expect("fixture parses");
         let section = kernel_profiles_section(&v).expect("non-empty digest");
         // direct: mean occupancy 75%, coalescing 50%, traversal 90%,
-        // reduction 10%, mean |err| 20%; shared data has no drift records.
+        // reduction 10%, memo 3 hits / 1 miss = 75%, mean |err| 20%; shared
+        // data has no memo activity and no drift records.
         assert!(section.contains("## Kernel profiles"), "{section}");
         assert!(
-            section.contains("| direct | 2 | 75% | 50.0% | 90.0% | 0.0% | 10.0% | 0.0% | 20.0% |"),
+            section
+                .contains("| direct | 2 | 75% | 50.0% | 90.0% | 0.0% | 10.0% | 0.0% | 75.0% | 20.0% |"),
             "{section}"
         );
         assert!(
-            section.contains("| shared data | 1 | 100% | 100.0% | 100.0% | 0.0% | 0.0% | 0.0% | - |"),
+            section
+                .contains("| shared data | 1 | 100% | 100.0% | 100.0% | 0.0% | 0.0% | 0.0% | - | - |"),
             "{section}"
         );
         assert!(section.contains("kernel durations: 3 launches"), "{section}");

@@ -26,6 +26,8 @@
 //! - [`metrics`] — CV / A.C.V. imbalance statistics.
 //! - [`parallel`] — host-side parallel map for simulation work
 //!   (`TAHOE_SIM_THREADS` overrides the worker count).
+//! - [`memo`] — per-launch block-result memoization: identical blocks
+//!   simulate once and replay in plan order (`TAHOE_SIM_MEMO` toggles it).
 //! - [`telemetry`] — span recorder, typed counter registry, and Chrome
 //!   trace / metrics-snapshot export (zero-cost when disabled).
 //! - [`profile`] — per-kernel Nsight-style reports, latency histograms,
@@ -60,6 +62,7 @@ pub mod block;
 pub mod coalesce;
 pub mod device;
 pub mod kernel;
+pub mod memo;
 pub mod memory;
 pub mod metrics;
 pub mod microbench;
@@ -75,6 +78,7 @@ pub use block::{BlockResult, BlockSim};
 pub use coalesce::AccessStats;
 pub use device::{Arch, DeviceSpec};
 pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
+pub use memo::{set_sim_memo, sim_memo, BlockKey, KeyHasher, MemoStats};
 pub use memory::{DeviceMemory, GlobalBuffer, OomError, ALLOC_ALIGN};
 pub use microbench::{measure, MeasuredParams};
 pub use parallel::{parallel_map, set_sim_threads, sim_threads};

@@ -42,12 +42,41 @@ pub fn sim_threads(n: usize) -> usize {
     configured.min(n).max(1)
 }
 
-/// `TAHOE_SIM_THREADS`, when set to a positive integer.
+/// `TAHOE_SIM_THREADS`, when set to a positive integer. Unparseable values
+/// (e.g. `two`, `-1`) warn once to stderr instead of being silently
+/// swallowed, then fall through to `available_parallelism`.
 fn env_threads() -> Option<usize> {
-    std::env::var("TAHOE_SIM_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&w| w > 0)
+    let raw = std::env::var("TAHOE_SIM_THREADS").ok()?;
+    match parse_worker_env(&raw) {
+        Ok(v) => v,
+        Err(()) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid TAHOE_SIM_THREADS={raw:?}: \
+                     expected a non-negative integer; using host parallelism"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Parses a `TAHOE_SIM_THREADS` value: `Ok(Some(n))` for a positive integer,
+/// `Ok(None)` for "unset", `Err(())` for anything unparseable. Empty,
+/// whitespace-only, and `0` all mean "unset" by design — `0` is "no
+/// override", not "no workers", so wrapper scripts can clear the variable by
+/// value without unsetting it.
+fn parse_worker_env(raw: &str) -> Result<Option<usize>, ()> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Ok(None);
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(()),
+    }
 }
 
 /// Applies `f` to every item index in `0..n`, in parallel, returning results
@@ -155,6 +184,24 @@ mod tests {
             assert_eq!(out, (0..37).map(|i| i * 3 + 1).collect::<Vec<_>>(), "{workers} workers");
         }
         set_sim_threads(None);
+    }
+
+    #[test]
+    fn worker_env_parsing() {
+        // Positive integers, whitespace tolerated.
+        assert_eq!(parse_worker_env("8"), Ok(Some(8)));
+        assert_eq!(parse_worker_env(" 8 "), Ok(Some(8)));
+        // Empty / whitespace-only / zero mean "unset" — zero is "no
+        // override", not "no workers", by design.
+        assert_eq!(parse_worker_env(""), Ok(None));
+        assert_eq!(parse_worker_env("   "), Ok(None));
+        assert_eq!(parse_worker_env("0"), Ok(None));
+        assert_eq!(parse_worker_env("00"), Ok(None));
+        // Anything unparseable is an error (warned once by `env_threads`).
+        assert_eq!(parse_worker_env("two"), Err(()));
+        assert_eq!(parse_worker_env("-1"), Err(()));
+        assert_eq!(parse_worker_env("1.5"), Err(()));
+        assert_eq!(parse_worker_env("8 workers"), Err(()));
     }
 
     #[test]

@@ -98,6 +98,14 @@ pub struct KernelProfile {
     pub smem_per_block: u64,
     /// Blocks simulated in detail.
     pub sampled_blocks: u64,
+    /// Planned blocks replayed from the launch's memo cache
+    /// (DESIGN.md §2.12); 0 on the unkeyed path or with memoization off.
+    pub memo_hits: u64,
+    /// Planned blocks the keyed path simulated in detail (memo misses).
+    pub memo_misses: u64,
+    /// `memo_hits / (memo_hits + memo_misses)` in `[0, 1]`; 0 when the
+    /// launch never went through the keyed path.
+    pub memo_hit_rate: f64,
     /// Occupancy-limited concurrent blocks on the device.
     pub concurrent_blocks: u64,
     /// Scheduling waves (`ceil(grid / concurrent)`).
@@ -144,6 +152,10 @@ pub struct LaunchStats<'a> {
     pub smem_per_block: usize,
     /// Blocks simulated in detail.
     pub sampled_blocks: usize,
+    /// Planned blocks replayed from the launch's memo cache.
+    pub memo_hits: u64,
+    /// Planned blocks the keyed path simulated in detail.
+    pub memo_misses: u64,
     /// Occupancy-limited concurrent blocks.
     pub concurrent_blocks: usize,
     /// Scheduling waves.
@@ -240,6 +252,13 @@ impl KernelProfile {
             0.0
         };
 
+        let memo_keyed = s.memo_hits + s.memo_misses;
+        let memo_hit_rate = if memo_keyed == 0 {
+            0.0
+        } else {
+            s.memo_hits as f64 / memo_keyed as f64
+        };
+
         KernelProfile {
             label: s.label.to_string(),
             device: d.name.to_string(),
@@ -247,6 +266,9 @@ impl KernelProfile {
             threads_per_block: s.threads_per_block as u64,
             smem_per_block: s.smem_per_block as u64,
             sampled_blocks: s.sampled_blocks as u64,
+            memo_hits: s.memo_hits,
+            memo_misses: s.memo_misses,
+            memo_hit_rate,
             concurrent_blocks: s.concurrent_blocks as u64,
             waves: s.waves as u64,
             achieved_occupancy,
@@ -601,6 +623,8 @@ mod tests {
             threads_per_block: 256,
             smem_per_block: 0,
             sampled_blocks: 10,
+            memo_hits: 0,
+            memo_misses: 0,
             concurrent_blocks: 448,
             waves: 1,
             gmem,
@@ -687,6 +711,23 @@ mod tests {
         s.grid_blocks = 10;
         let p = KernelProfile::from_launch(&s);
         assert_eq!(p.occupancy_limiter, OccupancyLimiter::Grid);
+    }
+
+    #[test]
+    fn memo_hit_rate_follows_the_counters() {
+        let d = DeviceSpec::tesla_p100();
+        let gmem = AccessStats::default();
+        let smem = AccessStats::default();
+        let mut s = stats(&d, &gmem, &smem);
+        // Unkeyed launch: no memo traffic, rate pinned to 0 (not NaN).
+        let p = KernelProfile::from_launch(&s);
+        assert_eq!(p.memo_hit_rate, 0.0);
+        s.memo_hits = 30;
+        s.memo_misses = 10;
+        let p = KernelProfile::from_launch(&s);
+        assert_eq!(p.memo_hits, 30);
+        assert_eq!(p.memo_misses, 10);
+        assert!((p.memo_hit_rate - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -114,11 +114,20 @@ pub enum Counter {
     ServingBatches,
     /// Requests the serving simulator served.
     ServingRequests,
+    /// Planned blocks replayed from a launch's memo cache instead of being
+    /// simulated (DESIGN.md §2.12).
+    MemoHits,
+    /// Planned blocks simulated in detail by the keyed path (one per
+    /// distinct block fingerprint).
+    MemoMisses,
+    /// Approximate bytes of cached block results held by per-launch memo
+    /// caches, summed over launches.
+    MemoBytes,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::GmemTransactions,
         Counter::GmemRequestedBytes,
         Counter::GmemFetchedBytes,
@@ -143,6 +152,9 @@ impl Counter {
         Counter::AcvBlocksSkipped,
         Counter::ServingBatches,
         Counter::ServingRequests,
+        Counter::MemoHits,
+        Counter::MemoMisses,
+        Counter::MemoBytes,
     ];
 
     /// Whether this entry is a gauge (maintained with `set`/`max`) rather
@@ -182,6 +194,9 @@ impl Counter {
             Counter::AcvBlocksSkipped => "acv_blocks_skipped",
             Counter::ServingBatches => "serving_batches",
             Counter::ServingRequests => "serving_requests",
+            Counter::MemoHits => "memo_hits",
+            Counter::MemoMisses => "memo_misses",
+            Counter::MemoBytes => "memo_bytes",
         }
     }
 }

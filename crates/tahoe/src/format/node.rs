@@ -120,7 +120,13 @@ impl DeviceNode {
     }
 
     /// Packs the node into `out` (the simulated device image).
+    ///
+    /// Writes exactly [`Self::encoded_bytes`]`(attr, explicit_children)`
+    /// bytes — [`crate::format::DeviceForest`]'s image sizing and the
+    /// `DeviceMemory` accounting both assume this, so a desync would silently
+    /// corrupt every simulated node address (debug builds assert it).
     pub fn encode(&self, attr: AttrWidth, explicit_children: bool, out: &mut impl BufMut) {
+        let before = out.remaining_mut();
         out.put_u8(self.flags());
         match attr {
             AttrWidth::U8 => out.put_u8(self.attribute as u8),
@@ -132,14 +138,23 @@ impl DeviceNode {
             out.put_u32_le(self.left);
             out.put_u32_le(self.right);
         }
+        debug_assert_eq!(
+            before - out.remaining_mut(),
+            Self::encoded_bytes(attr, explicit_children),
+            "encode must write exactly encoded_bytes({attr:?}, {explicit_children})"
+        );
     }
 
-    /// Encodes a NULL (padding) slot of the same size.
+    /// Encodes a NULL (padding) slot of the same size as [`Self::encode`].
     pub fn encode_null(attr: AttrWidth, explicit_children: bool, out: &mut impl BufMut) {
+        let before = out.remaining_mut();
         out.put_u8(NULL_FLAGS);
-        for _ in 0..Self::encoded_bytes(attr, explicit_children) - 1 {
-            out.put_u8(0);
-        }
+        out.put_bytes(0, Self::encoded_bytes(attr, explicit_children) - 1);
+        debug_assert_eq!(
+            before - out.remaining_mut(),
+            Self::encoded_bytes(attr, explicit_children),
+            "encode_null must write exactly encoded_bytes({attr:?}, {explicit_children})"
+        );
     }
 
     /// Decodes a node; `None` for NULL slots.
@@ -228,6 +243,25 @@ mod tests {
         assert_eq!(decoded.attribute, n.attribute);
         assert_eq!(decoded.scalar, n.scalar);
         assert_eq!(decoded.default_left, n.default_left);
+    }
+
+    #[test]
+    fn encode_writes_exact_sizes_for_every_width_and_mode() {
+        // The device-image layout and `DeviceMemory` accounting both trust
+        // `encoded_bytes`; a node that writes more or fewer bytes would
+        // silently shift every simulated node address after it.
+        for attr in [AttrWidth::U8, AttrWidth::U16, AttrWidth::U32] {
+            for explicit in [false, true] {
+                let want = DeviceNode::encoded_bytes(attr, explicit);
+                let mut buf = Vec::new();
+                decision().encode(attr, explicit, &mut buf);
+                assert_eq!(buf.len(), want, "encode {attr:?} explicit={explicit}");
+                let mut null = Vec::new();
+                DeviceNode::encode_null(attr, explicit, &mut null);
+                assert_eq!(null.len(), want, "encode_null {attr:?} explicit={explicit}");
+                assert!(DeviceNode::decode(attr, explicit, &mut null.as_slice()).is_none());
+            }
+        }
     }
 
     #[test]

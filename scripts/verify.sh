@@ -10,15 +10,20 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 cargo test --workspace --release
 
 # The parallel block-simulation driver must be bit-identical at any worker
-# count; exercise the TAHOE_SIM_THREADS env path at 1 and 4 workers. The
-# determinism suite also pins the telemetry exports (Chrome trace, metrics
-# snapshot, kernel profiles) byte-for-byte across worker counts;
-# telemetry_schema keeps the trace loadable by Perfetto, profile_schema pins
-# the profiler payload, and drift_audit bounds model-vs-simulator error.
-TAHOE_SIM_THREADS=1 cargo test --release --test determinism --test telemetry_schema \
-    --test profile_schema --test drift_audit
-TAHOE_SIM_THREADS=4 cargo test --release --test determinism --test telemetry_schema \
-    --test profile_schema --test drift_audit
+# count and with the block-memo cache on or off (DESIGN.md §2.12); exercise
+# the TAHOE_SIM_THREADS × TAHOE_SIM_MEMO env paths across the full 4-cell
+# cross-product. The determinism suite also pins the telemetry exports
+# (Chrome trace, metrics snapshot, kernel profiles) byte-for-byte across
+# worker counts; telemetry_schema keeps the trace loadable by Perfetto,
+# profile_schema pins the profiler payload, and drift_audit bounds
+# model-vs-simulator error.
+for workers in 1 4; do
+    for memo in 0 1; do
+        TAHOE_SIM_THREADS=$workers TAHOE_SIM_MEMO=$memo \
+            cargo test --release --test determinism --test telemetry_schema \
+            --test profile_schema --test drift_audit
+    done
+done
 
 # Telemetry must be zero-cost when off: spot-check that a bench binary runs
 # with the default disabled sink (no --trace/--metrics/--profile) end-to-end.

@@ -589,6 +589,14 @@ fn print_profile_report(export: &ProfilesExport, top: usize) {
             pct(b.global_reduction_ns),
             pct(b.bandwidth_stall_ns)
         );
+        if k.memo_hits + k.memo_misses > 0 {
+            println!(
+                "    memo {:.1}% hit rate ({} hits / {} unique blocks simulated)",
+                100.0 * k.memo_hit_rate,
+                k.memo_hits,
+                k.memo_misses
+            );
+        }
     }
     print_histogram("kernel durations", &export.kernel_durations);
     print_histogram("serving latencies", &export.serving_latencies);

@@ -2,22 +2,42 @@
 //!
 //! `KernelSim::simulate_blocks` fans sampled blocks out across host worker
 //! threads but merges results in plan order, so `finish()` accumulates its
-//! floating-point sums in the same sequence regardless of worker count. This
-//! test pins that guarantee end-to-end: a forced 1-thread run and a forced
-//! multi-worker run of every strategy must produce bit-identical
+//! floating-point sums in the same sequence regardless of worker count; the
+//! memo cache (`KernelSim::simulate_blocks_keyed`, DESIGN.md §2.12) replays
+//! cached `BlockResult`s into the very same plan-order merge, so it must not
+//! change results either. This test pins both guarantees end-to-end: every
+//! strategy is run under the full {memo off, memo on} × {1 worker, 4 workers}
+//! cross-product and all four configurations must produce bit-identical
 //! `KernelResult`s. `scripts/verify.sh` additionally runs this binary under
-//! `TAHOE_SIM_THREADS=1` and `TAHOE_SIM_THREADS=4` to exercise the
-//! environment-variable path.
+//! the same cross-product via `TAHOE_SIM_THREADS` / `TAHOE_SIM_MEMO` to
+//! exercise the environment-variable paths.
+//!
+//! Export identity is layered: Chrome traces are byte-identical across *all*
+//! four configurations (spans carry no memo information); metrics snapshots
+//! and kernel profiles are byte-identical across worker counts at a fixed
+//! memo setting, and identical across memo settings once the memo accounting
+//! itself (`memo_hits` / `memo_misses` / `memo_bytes` / `memo_hit_rate`) is
+//! normalized out — that accounting is the one thing memoization is *allowed*
+//! to change.
 
+use std::sync::Mutex;
+
+use serde_json::Value;
 use tahoe::cluster::GpuCluster;
 use tahoe::engine::EngineOptions;
 use tahoe::serving::{BatchingPolicy, ClusterServingSim};
 use tahoe::strategy::testutil::{context, Fixture};
-use tahoe::strategy::{self, Strategy};
+use tahoe::strategy::{self, LaunchContext, Strategy, StrategyRun};
 use tahoe::telemetry::{TelemetryCtx, TelemetrySink};
 use tahoe_gpu_sim::device::DeviceSpec;
 use tahoe_gpu_sim::kernel::{Detail, KernelResult};
+use tahoe_gpu_sim::memo::set_sim_memo;
 use tahoe_gpu_sim::parallel::set_sim_threads;
+
+/// Serializes tests that write the process-global memo / worker overrides
+/// (`set_sim_memo` / `set_sim_threads`): two override writers interleaving
+/// would observe each other's settings mid-run.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
 /// Asserts every field of two kernel results matches bit-for-bit (floats
 /// compared via `to_bits`, so `-0.0` vs `0.0` or any ULP drift fails).
@@ -92,15 +112,88 @@ fn assert_bit_identical(a: &KernelResult, b: &KernelResult, what: &str) {
     }
 }
 
-/// All four strategies, 1-thread vs forced multi-worker: bit-identical
-/// kernel results AND byte-identical telemetry exports (Chrome trace +
-/// metrics snapshot). Telemetry emission happens in `finish()` after the
-/// plan-order merge, so worker scheduling must never leak into the trace.
+/// One strategy run plus its three telemetry exports, captured under a forced
+/// (memo, workers) configuration. Caller must hold [`OVERRIDE_LOCK`].
+struct ConfigRun {
+    memo: bool,
+    workers: usize,
+    run: Option<StrategyRun>,
+    trace: String,
+    metrics: String,
+    profiles: String,
+}
+
+fn run_config(ctx: &LaunchContext<'_>, s: Strategy, memo: bool, workers: usize) -> ConfigRun {
+    let sink = TelemetrySink::recording();
+    set_sim_memo(Some(memo));
+    set_sim_threads(Some(workers));
+    let mut c = *ctx;
+    c.telemetry = TelemetryCtx { sink: &sink, t0_ns: 0.0 };
+    let run = strategy::run(s, &c);
+    set_sim_threads(None);
+    set_sim_memo(None);
+    ConfigRun {
+        memo,
+        workers,
+        run,
+        trace: sink.chrome_trace_json(),
+        metrics: sink.metrics_json(),
+        profiles: sink.profiles_json(),
+    }
+}
+
+/// Recursively zeroes the memo-accounting fields of an export: counters
+/// (`memo_hits` / `memo_misses` / `memo_bytes`) and the per-kernel profile
+/// fields (`memo_hits` / `memo_misses` / `memo_hit_rate`). Everything else —
+/// every timing, every histogram bucket, every drift record — is left intact,
+/// so comparing normalized exports across memo settings proves memoization
+/// changed nothing but its own bookkeeping.
+fn zero_memo_fields(v: &mut Value) {
+    match v {
+        Value::Object(entries) => {
+            for (key, val) in entries.iter_mut() {
+                if matches!(key.as_str(), "memo_hits" | "memo_misses" | "memo_bytes" | "memo_hit_rate")
+                {
+                    *val = Value::Number(serde_json::Number::PosInt(0));
+                } else {
+                    zero_memo_fields(val);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                zero_memo_fields(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn normalized(json: &str) -> Value {
+    let mut v: Value = serde_json::from_str(json).expect("telemetry export parses as JSON");
+    zero_memo_fields(&mut v);
+    v
+}
+
+/// Reads one counter out of a metrics-snapshot export.
+fn counter(metrics_json: &str, name: &str) -> u64 {
+    let v: Value = serde_json::from_str(metrics_json).expect("metrics export parses");
+    v.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("metrics export missing counter {name}"))
+}
+
+/// All four strategies under {memo off, on} × {1 worker, 4 workers}:
+/// bit-identical kernel results, byte-identical Chrome traces, and metrics /
+/// profile exports that differ only in the memo accounting itself.
 ///
-/// Kept as a single test function: the worker override is process-global, so
-/// the forced phases must not interleave with other override writers.
+/// Kept as a single test function per override-writing concern: it holds
+/// [`OVERRIDE_LOCK`] so the forced phases never interleave with the other
+/// override writer ([`memo_cache_keys_on_sample_content`]).
 #[test]
 fn parallel_simulation_is_bit_identical_to_one_thread() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     for dataset in ["letter", "higgs"] {
         let fx = Fixture::trained(dataset);
         // Full detail on the smoke-scale grid: every block simulated, so the
@@ -112,71 +205,114 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
         let mut ctx = context(&fx, Detail::Full);
         ctx.block_threads = 32;
         for s in Strategy::ALL {
-            let sink_seq = TelemetrySink::recording();
-            let sink_par = TelemetrySink::recording();
-            set_sim_threads(Some(1));
-            let mut ctx_seq = ctx;
-            ctx_seq.telemetry = TelemetryCtx { sink: &sink_seq, t0_ns: 0.0 };
-            let sequential = strategy::run(s, &ctx_seq);
             // 4 workers even on a 1-core host: oversubscription changes
             // scheduling, never results.
-            set_sim_threads(Some(4));
-            let mut ctx_par = ctx;
-            ctx_par.telemetry = TelemetryCtx { sink: &sink_par, t0_ns: 0.0 };
-            let parallel = strategy::run(s, &ctx_par);
-            set_sim_threads(None);
-            match (sequential, parallel) {
-                (Some(seq), Some(par)) => {
-                    assert!(
-                        seq.kernel.sampled_blocks > 4,
-                        "{dataset}/{s}: grid too small to exercise the parallel driver"
+            let configs = [
+                run_config(&ctx, s, false, 1),
+                run_config(&ctx, s, false, 4),
+                run_config(&ctx, s, true, 1),
+                run_config(&ctx, s, true, 4),
+            ];
+            let base = &configs[0];
+            for other in &configs[1..] {
+                let what =
+                    format!("{dataset}/{s} memo={} workers={}", other.memo, other.workers);
+                match (&base.run, &other.run) {
+                    (Some(a), Some(b)) => {
+                        assert!(
+                            a.kernel.sampled_blocks > 4,
+                            "{what}: grid too small to exercise the parallel driver"
+                        );
+                        assert_bit_identical(&a.kernel, &b.kernel, &what);
+                        assert_eq!(a.geometry, b.geometry, "{what}: geometry");
+                        assert_eq!(a.n_samples, b.n_samples, "{what}: n_samples");
+                    }
+                    (None, None) => {} // infeasible either way — consistent
+                    _ => panic!("{what}: feasibility changed with configuration"),
+                }
+                // Chrome traces carry no memo information at all, so they
+                // must match byte-for-byte across the whole cross-product:
+                // the trace files users diff are the serialized strings.
+                assert_eq!(base.trace, other.trace, "{what}: Chrome trace differs");
+                if other.memo == base.memo {
+                    // Same memo setting: full byte identity across workers.
+                    assert_eq!(base.metrics, other.metrics, "{what}: metrics differ");
+                    assert_eq!(base.profiles, other.profiles, "{what}: profiles differ");
+                } else {
+                    // Across memo settings only the memo accounting may move.
+                    assert_eq!(
+                        normalized(&base.metrics),
+                        normalized(&other.metrics),
+                        "{what}: metrics differ beyond memo accounting"
                     );
-                    assert_bit_identical(&seq.kernel, &par.kernel, &format!("{dataset}/{s}"));
-                    assert_eq!(seq.geometry, par.geometry, "{dataset}/{s}: geometry");
-                    assert_eq!(seq.n_samples, par.n_samples, "{dataset}/{s}: n_samples");
-                    assert!(
-                        sink_seq.snapshot().span_count > 0,
-                        "{dataset}/{s}: feasible run recorded no spans"
+                    assert_eq!(
+                        normalized(&base.profiles),
+                        normalized(&other.profiles),
+                        "{what}: profiles differ beyond memo accounting"
                     );
                 }
-                (None, None) => {} // infeasible either way — consistent
-                _ => panic!("{dataset}/{s}: feasibility changed with worker count"),
             }
-            // Exports must match byte-for-byte, not just semantically: the
-            // trace files users diff are the serialized strings.
+            // Memo-on byte identity across worker counts, and the cache
+            // accounting must cover exactly the sampled plan.
             assert_eq!(
-                sink_seq.chrome_trace_json(),
-                sink_par.chrome_trace_json(),
-                "{dataset}/{s}: Chrome trace differs across worker counts"
+                configs[2].metrics, configs[3].metrics,
+                "{dataset}/{s}: memo-on metrics differ across worker counts"
             );
             assert_eq!(
-                sink_seq.metrics_json(),
-                sink_par.metrics_json(),
-                "{dataset}/{s}: metrics snapshot differs across worker counts"
+                configs[2].profiles, configs[3].profiles,
+                "{dataset}/{s}: memo-on profiles differ across worker counts"
             );
-            assert_eq!(
-                sink_seq.profiles_json(),
-                sink_par.profiles_json(),
-                "{dataset}/{s}: kernel profiles differ across worker counts"
-            );
+            if let Some(run) = &configs[2].run {
+                let hits = counter(&configs[2].metrics, "memo_hits");
+                let misses = counter(&configs[2].metrics, "memo_misses");
+                assert_eq!(
+                    hits + misses,
+                    run.kernel.sampled_blocks as u64,
+                    "{dataset}/{s}: every planned block is either a hit or a miss"
+                );
+                assert_eq!(
+                    counter(&configs[0].metrics, "memo_hits") +
+                        counter(&configs[0].metrics, "memo_misses"),
+                    0,
+                    "{dataset}/{s}: memo-off runs must not touch the cache"
+                );
+            }
         }
     }
     // Multi-GPU cluster serving rides on the same guarantee: per-device
     // sinks are absorbed in device-index order on the caller thread, so the
-    // merged exports must also be byte-identical at any worker count.
-    set_sim_threads(Some(1));
-    let (trace_seq, metrics_seq, profiles_seq) = cluster_serving_exports();
-    set_sim_threads(Some(4));
-    let (trace_par, metrics_par, profiles_par) = cluster_serving_exports();
-    set_sim_threads(None);
-    assert_eq!(trace_seq, trace_par, "cluster: Chrome trace differs across worker counts");
-    assert_eq!(metrics_seq, metrics_par, "cluster: metrics differ across worker counts");
-    assert_eq!(profiles_seq, profiles_par, "cluster: profiles differ across worker counts");
+    // merged exports must also be byte-identical at any worker count — and,
+    // normalized, across memo settings.
+    let mut per_memo = Vec::new();
+    for memo in [false, true] {
+        set_sim_memo(Some(memo));
+        set_sim_threads(Some(1));
+        let (trace_seq, metrics_seq, profiles_seq) = cluster_serving_exports();
+        set_sim_threads(Some(4));
+        let (trace_par, metrics_par, profiles_par) = cluster_serving_exports();
+        set_sim_threads(None);
+        set_sim_memo(None);
+        assert_eq!(trace_seq, trace_par, "cluster memo={memo}: Chrome trace differs");
+        assert_eq!(metrics_seq, metrics_par, "cluster memo={memo}: metrics differ");
+        assert_eq!(profiles_seq, profiles_par, "cluster memo={memo}: profiles differ");
+        per_memo.push((trace_seq, metrics_seq, profiles_seq));
+    }
+    assert_eq!(per_memo[0].0, per_memo[1].0, "cluster: Chrome trace differs across memo");
+    assert_eq!(
+        normalized(&per_memo[0].1),
+        normalized(&per_memo[1].1),
+        "cluster: metrics differ beyond memo accounting"
+    );
+    assert_eq!(
+        normalized(&per_memo[0].2),
+        normalized(&per_memo[1].2),
+        "cluster: profiles differ beyond memo accounting"
+    );
 }
 
 /// Exports from a heterogeneous multi-GPU serving trace, built under the
-/// current worker-count override (caller sets it — the override is
-/// process-global, so this only runs from the single override test above).
+/// current worker-count/memo overrides (caller sets them while holding
+/// [`OVERRIDE_LOCK`]).
 fn cluster_serving_exports() -> (String, String, String) {
     let fx = Fixture::trained("letter");
     let sink = TelemetrySink::recording();
@@ -193,9 +329,48 @@ fn cluster_serving_exports() -> (String, String, String) {
     (sink.chrome_trace_json(), sink.metrics_json(), sink.profiles_json())
 }
 
+/// End-to-end memo-key discrimination: a batch of 256 identical rows makes
+/// every direct-strategy block's window bit-identical (7 hits out of 8
+/// blocks), and flipping a *single* sample feature value inside one block's
+/// window must turn exactly that block into a second miss — no false sharing.
+#[test]
+fn memo_cache_keys_on_sample_content() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // 256 copies of row 0: 8 direct blocks at 32 threads, windows 2 KiB
+    // apart (letter has 16 attributes), so every base address is congruent
+    // modulo the 128 B transaction size and identical content must hit.
+    let mut fx = Fixture::trained_with_batch("letter", 256);
+    fx.samples = fx.samples.select(&vec![0usize; 256]);
+    let run_direct = |fx: &Fixture| -> (KernelResult, u64, u64) {
+        let sink = TelemetrySink::recording();
+        let mut ctx = context(fx, Detail::Full);
+        ctx.block_threads = 32;
+        ctx.telemetry = TelemetryCtx { sink: &sink, t0_ns: 0.0 };
+        set_sim_memo(Some(true));
+        let run = strategy::run(Strategy::Direct, &ctx).expect("direct always runs");
+        set_sim_memo(None);
+        let snap = sink.snapshot();
+        (run.kernel, snap.counters["memo_hits"], snap.counters["memo_misses"])
+    };
+    let (uniform, hits, misses) = run_direct(&fx);
+    assert_eq!(uniform.sampled_blocks, 8, "Full detail simulates the whole grid");
+    assert_eq!((hits, misses), (7, 1), "identical windows must all share one simulation");
+
+    // Nudge one feature of one sample in block 3's window by one ULP.
+    let poked = fx.samples.row(3 * 32 + 5)[7];
+    fx.samples.row_mut(3 * 32 + 5)[7] = f32::from_bits(poked.to_bits() ^ 1);
+    let (_poked_run, hits, misses) = run_direct(&fx);
+    assert_eq!(
+        (hits, misses),
+        (6, 2),
+        "a single changed feature value must miss exactly its own block"
+    );
+}
+
 /// Repeated runs under the ambient configuration (whatever
-/// `TAHOE_SIM_THREADS` / core count says) are self-consistent. Safe to race
-/// with the override test: worker count must never change results.
+/// `TAHOE_SIM_THREADS` / `TAHOE_SIM_MEMO` / core count says) are
+/// self-consistent. Safe to race with the override tests: neither worker
+/// count nor memoization may ever change results.
 #[test]
 fn repeated_runs_are_self_consistent() {
     let fx = Fixture::trained("ijcnn1");

@@ -86,6 +86,18 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Writable capacity left (like `bytes`' `remaining_mut`: effectively
+    /// unbounded for growable sinks, so callers use *deltas*, not the
+    /// absolute value).
+    fn remaining_mut(&self) -> usize;
+
+    /// Appends `cnt` copies of `val` (single bulk write, like `bytes`').
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+
     /// Writes one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
@@ -121,11 +133,28 @@ impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
     }
+
+    fn remaining_mut(&self) -> usize {
+        // A Vec can grow to isize::MAX bytes; only deltas are meaningful.
+        isize::MAX as usize - self.len()
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
 }
 
 impl<B: BufMut + ?Sized> BufMut for &mut B {
     fn put_slice(&mut self, src: &[u8]) {
         (**self).put_slice(src);
+    }
+
+    fn remaining_mut(&self) -> usize {
+        (**self).remaining_mut()
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        (**self).put_bytes(val, cnt);
     }
 }
 
@@ -146,6 +175,18 @@ mod tests {
         assert_eq!(cursor.get_u32_le(), 70_000);
         assert!((cursor.get_f32_le() - 1.5).abs() < 1e-9);
         assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn put_bytes_and_remaining_mut_track_bulk_writes() {
+        let mut out = Vec::new();
+        let before = out.remaining_mut();
+        out.put_bytes(0xAB, 5);
+        assert_eq!(out, vec![0xAB; 5]);
+        assert_eq!(before - out.remaining_mut(), 5);
+        (&mut out).put_bytes(0, 2);
+        assert_eq!(out.len(), 7);
+        assert_eq!(before - out.remaining_mut(), 7);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Host-side cost of device-format construction (Algorithm 1's "convert the
-//! forest format" step): dense vs sparse, adaptive vs traditional encoding,
-//! and the byte-image encode pass.
+//! forest format" step): dense vs sparse, adaptive vs traditional vs packed
+//! encoding, and the byte-image encode/decode passes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tahoe::format::{DeviceForest, FormatConfig, LayoutPlan, StorageMode};
+use tahoe::format::{DeviceForest, FormatConfig, LayoutPlan, NodeEncoding, StorageMode};
 use tahoe_datasets::{DatasetSpec, Scale};
 use tahoe_forest::{train_for_spec, Forest};
 use tahoe_gpu_sim::memory::DeviceMemory;
@@ -18,12 +18,18 @@ fn trained(name: &str) -> Forest {
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("device_forest_build");
-    for (label, mode) in [("dense", StorageMode::Dense), ("sparse", StorageMode::Sparse)] {
+    for (label, mode, encoding) in [
+        ("dense", StorageMode::Dense, NodeEncoding::Classic),
+        ("sparse", StorageMode::Sparse, NodeEncoding::Classic),
+        ("dense-packed", StorageMode::Dense, NodeEncoding::Packed),
+        ("sparse-packed", StorageMode::Sparse, NodeEncoding::Packed),
+    ] {
         let forest = trained("susy");
         let plan = LayoutPlan::identity(&forest);
         let config = FormatConfig {
             varlen_attr: true,
             mode: Some(mode),
+            encoding,
         };
         group.bench_with_input(BenchmarkId::new(label, forest.n_trees()), &forest, |b, f| {
             b.iter(|| {
@@ -35,12 +41,20 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_encode_image(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode_image");
-    for (label, config) in [
+/// The three encode configurations the image benches compare: Tahoe's
+/// adaptive records, the traditional fixed-width records, and the packed
+/// struct-of-arrays lanes (DESIGN.md §2.13).
+fn encode_configs() -> [(&'static str, FormatConfig); 3] {
+    [
         ("adaptive", FormatConfig::adaptive()),
         ("traditional", FormatConfig::traditional()),
-    ] {
+        ("packed", FormatConfig::packed()),
+    ]
+}
+
+fn bench_encode_image(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_image");
+    for (label, config) in encode_configs() {
         let forest = trained("higgs");
         let plan = LayoutPlan::identity(&forest);
         let mut mem = DeviceMemory::new();
@@ -52,9 +66,24 @@ fn bench_encode_image(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_decode_image(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_image");
+    for (label, config) in encode_configs() {
+        let forest = trained("higgs");
+        let plan = LayoutPlan::identity(&forest);
+        let mut mem = DeviceMemory::new();
+        let df = DeviceForest::build(&forest, &plan, config, &mut mem);
+        let image = df.encode_image();
+        group.bench_function(label, |b| {
+            b.iter(|| df.decode_image(&image));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_build, bench_encode_image
+    targets = bench_build, bench_encode_image, bench_decode_image
 );
 criterion_main!(benches);

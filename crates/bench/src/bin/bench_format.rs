@@ -1,0 +1,9 @@
+//! Regenerates the `BENCH_format` node-encoding comparison (classic
+//! whole-node records vs packed struct-of-arrays lanes).
+
+fn main() {
+    let env = tahoe_bench::Env::from_args();
+    let result = tahoe_bench::experiments::format::run(&env);
+    tahoe_bench::experiments::format::report(&result);
+    env.export_telemetry();
+}

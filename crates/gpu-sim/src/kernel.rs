@@ -99,6 +99,9 @@ pub struct KernelSim<'d> {
     /// Memoization accounting of the keyed simulation path (DESIGN.md
     /// §2.12); all zero on the unkeyed path or with memoization off.
     memo: MemoStats,
+    /// Device-image bytes per forest node, carried into the kernel profile
+    /// (0 when the launch has no forest image).
+    node_bytes: u64,
 }
 
 impl<'d> KernelSim<'d> {
@@ -129,7 +132,14 @@ impl<'d> KernelSim<'d> {
             trace: None,
             plan_idx: Vec::new(),
             memo: MemoStats::default(),
+            node_bytes: 0,
         }
+    }
+
+    /// Records the per-node image width for the kernel profile. Set once at
+    /// launch from the forest's format — metadata only, never timing.
+    pub fn set_node_bytes(&mut self, bytes: u64) {
+        self.node_bytes = bytes;
     }
 
     /// Attaches a telemetry sink: [`Self::finish`] will emit this launch's
@@ -318,6 +328,7 @@ impl<'d> KernelSim<'d> {
             trace,
             plan_idx,
             memo,
+            node_bytes,
         } = self;
         assert!(!sampled.is_empty(), "no blocks were simulated");
         let n_sampled = sampled.len();
@@ -408,6 +419,7 @@ impl<'d> KernelSim<'d> {
                 grid_blocks,
                 threads_per_block,
                 smem_per_block,
+                node_bytes,
                 sampled_blocks: n_sampled,
                 memo_hits: memo.hits,
                 memo_misses: memo.misses,

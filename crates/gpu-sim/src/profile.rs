@@ -96,6 +96,9 @@ pub struct KernelProfile {
     pub threads_per_block: u64,
     /// Static shared memory per block (bytes).
     pub smem_per_block: u64,
+    /// Total device-image bytes per forest node for this launch (the sum of
+    /// every lane's entry width); 0 when the launch has no forest image.
+    pub node_bytes: u64,
     /// Blocks simulated in detail.
     pub sampled_blocks: u64,
     /// Planned blocks replayed from the launch's memo cache
@@ -150,6 +153,8 @@ pub struct LaunchStats<'a> {
     pub threads_per_block: usize,
     /// Static shared memory per block (bytes).
     pub smem_per_block: usize,
+    /// Device-image bytes per forest node (0 when not applicable).
+    pub node_bytes: u64,
     /// Blocks simulated in detail.
     pub sampled_blocks: usize,
     /// Planned blocks replayed from the launch's memo cache.
@@ -265,6 +270,7 @@ impl KernelProfile {
             grid_blocks: s.grid_blocks as u64,
             threads_per_block: s.threads_per_block as u64,
             smem_per_block: s.smem_per_block as u64,
+            node_bytes: s.node_bytes,
             sampled_blocks: s.sampled_blocks as u64,
             memo_hits: s.memo_hits,
             memo_misses: s.memo_misses,
@@ -622,6 +628,7 @@ mod tests {
             grid_blocks: 100,
             threads_per_block: 256,
             smem_per_block: 0,
+            node_bytes: 0,
             sampled_blocks: 10,
             memo_hits: 0,
             memo_misses: 0,

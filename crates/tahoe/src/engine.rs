@@ -17,7 +17,7 @@ use tahoe_gpu_sim::kernel::Detail;
 use tahoe_gpu_sim::memory::{DeviceMemory, OomError, ALLOC_ALIGN, GLOBAL_BASE};
 use tahoe_gpu_sim::{measure, GlobalBuffer, MeasuredParams};
 
-use crate::format::{DeviceForest, FormatConfig, LayoutPlan};
+use crate::format::{DeviceForest, FormatConfig, LayoutPlan, NodeEncoding};
 use crate::perfmodel::{self, ModelInputs, Prediction};
 use crate::profile::DriftRecord;
 use crate::rearrange::{self, RearrangeReport, SimilarityParams};
@@ -25,6 +25,32 @@ use crate::strategy::common::THREADS_PER_BLOCK;
 use crate::strategy::{self, LaunchContext, Strategy, StrategyRun};
 use crate::telemetry::{Counter, TelemetryCtx, TelemetrySink, PID_ENGINE};
 use crate::tune;
+
+/// How the engine picks the device-node encoding (DESIGN.md §2.13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NodeEncodingChoice {
+    /// Whole-node records — the historical layout and the default, so the
+    /// presets stay bit-identical to what they always produced.
+    #[default]
+    Classic,
+    /// Packed struct-of-arrays lanes; falls back to classic when the
+    /// attribute count exceeds [`crate::format::PackedWidth`]'s 29-bit cap.
+    Packed,
+    /// Packed whenever the attribute count is representable (same fallback
+    /// rule as `Packed` — the format layer decides).
+    Auto,
+}
+
+impl NodeEncodingChoice {
+    /// The concrete encoding to request from the format layer.
+    #[must_use]
+    pub fn resolve(self) -> NodeEncoding {
+        match self {
+            Self::Classic => NodeEncoding::Classic,
+            Self::Packed | Self::Auto => NodeEncoding::Packed,
+        }
+    }
+}
 
 /// Which of Tahoe's techniques an engine applies (the knobs behind the
 /// paper's Fig. 8 breakdown).
@@ -53,6 +79,10 @@ pub struct EngineOptions {
     /// re-annotates the forest and rebuilds the layout. Off by default: it
     /// costs an extra traversal pass per batch.
     pub track_probabilities: bool,
+    /// Device-node encoding (DESIGN.md §2.13). The presets keep the classic
+    /// whole-node layout so their simulated traces stay byte-identical;
+    /// `tahoe-cli` defaults to `Auto`.
+    pub node_encoding: NodeEncodingChoice,
 }
 
 impl EngineOptions {
@@ -68,6 +98,7 @@ impl EngineOptions {
             similarity: SimilarityParams::default(),
             functional: true,
             track_probabilities: false,
+            node_encoding: NodeEncodingChoice::Classic,
         }
     }
 
@@ -84,6 +115,7 @@ impl EngineOptions {
             similarity: SimilarityParams::default(),
             functional: true,
             track_probabilities: false,
+            node_encoding: NodeEncodingChoice::Classic,
         }
     }
 }
@@ -138,8 +170,10 @@ pub struct Engine {
     stats: ForestStats,
     device_forest: DeviceForest,
     mem: DeviceMemory,
-    /// Live allocation holding the forest image; freed on reconversion.
-    forest_buf: Option<GlobalBuffer>,
+    /// Live allocations holding the forest image — one per node lane (the
+    /// classic encoding has one, packed two or three); freed on
+    /// reconversion.
+    forest_bufs: Vec<GlobalBuffer>,
     /// Cached per-batch staging buffer, reused (or grown) across batches.
     sample_buf: Option<GlobalBuffer>,
     conversion: ConversionReport,
@@ -194,7 +228,7 @@ impl Engine {
             forest,
             device_forest: placeholder_device_forest(),
             mem,
-            forest_buf: None,
+            forest_bufs: Vec::new(),
             sample_buf: None,
             conversion: ConversionReport::default(),
             counter: None,
@@ -234,7 +268,7 @@ impl Engine {
             stats: self.stats,
             device_forest: self.device_forest.clone(),
             mem,
-            forest_buf: self.forest_buf,
+            forest_bufs: self.forest_bufs.clone(),
             sample_buf: self.sample_buf,
             conversion: self.conversion,
             counter: self.counter.clone(),
@@ -289,17 +323,18 @@ impl Engine {
         let config = FormatConfig {
             varlen_attr: self.options.varlen_attr,
             mode: None,
+            encoding: self.options.node_encoding.resolve(),
         };
         let t0 = Instant::now();
         // Release the previous image before building the replacement —
         // without this, every `update_forest`/`refresh_probabilities` cycle
         // leaked a full forest image of simulated DRAM.
-        if let Some(old) = self.forest_buf.take() {
+        for old in std::mem::take(&mut self.forest_bufs) {
             self.mem.free(old);
         }
         self.device_forest = DeviceForest::try_build(&self.forest, &plan, config, &mut self.mem)
             .unwrap_or_else(|e| panic!("forest image exceeds device DRAM: {e}"));
-        self.forest_buf = Some(self.device_forest.buffer());
+        self.forest_bufs = self.device_forest.buffers();
         report.convert_ns = t0.elapsed().as_nanos() as u64;
         self.stats = self.forest.stats();
         if self.sink.is_enabled() {
@@ -806,6 +841,30 @@ mod tests {
             b.run.kernel.gmem.fetched_bytes,
             a.run.kernel.gmem.fetched_bytes
         );
+    }
+
+    #[test]
+    fn packed_encoding_matches_reference_and_shrinks_image() {
+        let (forest, samples) = setup("letter");
+        let reference = predict_dataset(&forest, &samples);
+        let classic = Engine::tahoe(DeviceSpec::tesla_p100(), forest.clone());
+        let options = EngineOptions {
+            node_encoding: NodeEncodingChoice::Auto,
+            ..EngineOptions::tahoe()
+        };
+        let mut packed = Engine::new(DeviceSpec::tesla_p100(), forest, options);
+        assert_eq!(packed.device_forest().encoding(), NodeEncoding::Packed);
+        assert!(
+            packed.device_forest().image_bytes() < classic.device_forest().image_bytes(),
+            "packed {} !< classic {}",
+            packed.device_forest().image_bytes(),
+            classic.device_forest().image_bytes()
+        );
+        let result = packed.infer(&samples);
+        assert_eq!(result.predictions.len(), reference.len());
+        for (a, b) in result.predictions.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 
     #[test]

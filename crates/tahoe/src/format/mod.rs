@@ -11,13 +11,14 @@
 pub mod layout;
 pub mod node;
 
+use bytes::BufMut;
 use tahoe_datasets::{ForestKind, SampleMatrix};
 use tahoe_forest::Forest;
 use tahoe_gpu_sim::memory::{DeviceMemory, OomError};
 use tahoe_gpu_sim::GlobalBuffer;
 
-pub use layout::{assign_slots, LayoutPlan, SlotMap, StorageMode};
-pub use node::{AttrWidth, DeviceNode, NO_SLOT};
+pub use layout::{assign_slots, assign_slots_paired, LayoutPlan, SlotMap, StorageMode};
+pub use node::{AttrWidth, DeviceNode, PackedWidth, NO_SLOT};
 
 use tahoe_forest::Node as HostNode;
 
@@ -26,13 +27,31 @@ use tahoe_forest::Node as HostNode;
 /// same dense/sparse decision for deep trees).
 pub const DENSE_SLOT_CAP: usize = 1 << 21;
 
+/// Node encoding: classic array-of-structs vs packed struct-of-arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeEncoding {
+    /// One record per node: flag byte + attribute index + f32 scalar
+    /// (+ explicit children in sparse mode).
+    Classic,
+    /// Struct-of-arrays lanes (the reference CUDA `encode_node_adaptive`
+    /// scheme): a structural-bits lane of [`PackedWidth`] entries, a separate
+    /// f32 value lane, and — in sparse mode — a narrow child-offset lane.
+    Packed,
+}
+
 /// Format configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FormatConfig {
     /// Use the minimal attribute-index width (§4.3) instead of 4 bytes.
+    /// Classic encoding only; the packed structural entry is always minimal.
     pub varlen_attr: bool,
     /// Force a storage mode; `None` selects automatically by padded size.
     pub mode: Option<StorageMode>,
+    /// Node encoding. A `Packed` request falls back to `Classic` when even a
+    /// 4-byte entry cannot index the attribute count (see
+    /// [`PackedWidth::minimal`]); [`DeviceForest::encoding`] reports the
+    /// resolved choice.
+    pub encoding: NodeEncoding,
 }
 
 impl FormatConfig {
@@ -42,6 +61,7 @@ impl FormatConfig {
         Self {
             varlen_attr: true,
             mode: None,
+            encoding: NodeEncoding::Classic,
         }
     }
 
@@ -51,8 +71,32 @@ impl FormatConfig {
         Self {
             varlen_attr: false,
             mode: None,
+            encoding: NodeEncoding::Classic,
         }
     }
+
+    /// The packed struct-of-arrays configuration.
+    #[must_use]
+    pub fn packed() -> Self {
+        Self {
+            varlen_attr: true,
+            mode: None,
+            encoding: NodeEncoding::Packed,
+        }
+    }
+}
+
+/// One device-memory lane of a [`DeviceForest`] image.
+///
+/// Classic encoding has a single lane of whole-node records; the packed
+/// encoding has a structural-bits lane, an f32 value lane, and (sparse mode)
+/// a child-offset lane. Every lane holds one element per slot.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeLane {
+    /// The simulated device allocation backing this lane.
+    pub buffer: GlobalBuffer,
+    /// Bytes per slot in this lane.
+    pub elem_bytes: usize,
 }
 
 /// A forest laid out in simulated device memory.
@@ -64,14 +108,65 @@ pub struct DeviceForest {
     nodes_per_tree: Vec<u32>,
     node_bytes: usize,
     attr_width: AttrWidth,
+    encoding: NodeEncoding,
+    packed_width: Option<PackedWidth>,
+    child_width: Option<AttrWidth>,
     mode: StorageMode,
-    buffer: GlobalBuffer,
+    lanes: Vec<NodeLane>,
     n_trees: usize,
     n_attributes: u32,
     kind: ForestKind,
     base_score: f32,
     tree_order: Vec<usize>,
     max_depth: usize,
+}
+
+/// Minimal width for the packed sparse child lane: tree-relative offsets up
+/// to `max_nodes − 1`, with the all-ones value reserved as the leaf sentinel.
+fn child_width_for(max_nodes: u64) -> AttrWidth {
+    if max_nodes <= 0xFF {
+        AttrWidth::U8
+    } else if max_nodes <= 0xFFFF {
+        AttrWidth::U16
+    } else {
+        AttrWidth::U32
+    }
+}
+
+/// All-ones sentinel of a fixed-width unsigned lane entry.
+fn uint_sentinel(width: AttrWidth) -> u32 {
+    match width {
+        AttrWidth::U8 => 0xFF,
+        AttrWidth::U16 => 0xFFFF,
+        AttrWidth::U32 => u32::MAX,
+    }
+}
+
+/// Writes one little-endian unsigned entry of the given width.
+fn put_uint(width: AttrWidth, value: u32, out: &mut Vec<u8>) {
+    match width {
+        AttrWidth::U8 => out.put_u8(value as u8),
+        AttrWidth::U16 => out.put_u16_le(value as u16),
+        AttrWidth::U32 => out.put_u32_le(value),
+    }
+}
+
+/// Reads the little-endian unsigned entry at `buf[0..width.bytes()]`.
+fn get_uint(width: AttrWidth, buf: &[u8]) -> u32 {
+    match width {
+        AttrWidth::U8 => u32::from(buf[0]),
+        AttrWidth::U16 => u32::from(u16::from_le_bytes([buf[0], buf[1]])),
+        AttrWidth::U32 => u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+    }
+}
+
+/// One round of splitmix64 — the deterministic mixer behind
+/// [`DeviceForest::encoding_key`].
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DeviceForest {
@@ -116,6 +211,17 @@ impl DeviceForest {
         } else {
             AttrWidth::U32
         };
+        // A packed request resolves against the attribute count; forests the
+        // packed entry cannot index fall back to the classic encoding.
+        let packed_width = match config.encoding {
+            NodeEncoding::Packed => PackedWidth::minimal(forest.n_attributes().max(1)),
+            NodeEncoding::Classic => None,
+        };
+        let encoding = if packed_width.is_some() {
+            NodeEncoding::Packed
+        } else {
+            NodeEncoding::Classic
+        };
         let mode = config.mode.unwrap_or_else(|| {
             let depth = stats.max_depth as u32;
             let padded = (stats.n_trees as u128) << (depth + 1);
@@ -125,9 +231,36 @@ impl DeviceForest {
                 StorageMode::Sparse
             }
         });
-        let map = assign_slots(forest, plan, mode);
+        // Packed sparse needs the paired slot order (trees contiguous,
+        // siblings adjacent) so the child lane can store one narrow
+        // tree-relative offset; every other combination keeps the classic
+        // level-interleaved order.
+        let map = if encoding == NodeEncoding::Packed && mode == StorageMode::Sparse {
+            assign_slots_paired(forest, plan)
+        } else {
+            assign_slots(forest, plan, mode)
+        };
         let explicit = mode == StorageMode::Sparse;
-        let node_bytes = DeviceNode::encoded_bytes(attr_width, explicit);
+        let child_width = match (encoding, mode) {
+            (NodeEncoding::Packed, StorageMode::Sparse) => {
+                let max_nodes = forest
+                    .trees()
+                    .iter()
+                    .map(|t| t.n_nodes() as u64)
+                    .max()
+                    .unwrap_or(1);
+                Some(child_width_for(max_nodes))
+            }
+            _ => None,
+        };
+        let node_bytes = match encoding {
+            NodeEncoding::Classic => DeviceNode::encoded_bytes(attr_width, explicit),
+            NodeEncoding::Packed => {
+                packed_width.expect("packed encoding has a width").bytes()
+                    + 4
+                    + child_width.map_or(0, AttrWidth::bytes)
+            }
+        };
         let mut nodes: Vec<Option<DeviceNode>> = vec![None; map.n_slots];
         let mut nodes_per_tree = Vec::with_capacity(forest.n_trees());
         for (layout_idx, &orig) in plan.tree_order.iter().enumerate() {
@@ -175,7 +308,30 @@ impl DeviceForest {
         let roots: Vec<u32> = (0..forest.n_trees())
             .map(|layout_idx| map.slot_of[layout_idx][0])
             .collect();
-        let buffer = mem.try_alloc((map.n_slots * node_bytes) as u64)?;
+        // One device allocation per lane; roll back the lanes already
+        // allocated if a later one does not fit, so a failed build leaves
+        // `mem` untouched.
+        let lane_widths: Vec<usize> = match encoding {
+            NodeEncoding::Classic => vec![node_bytes],
+            NodeEncoding::Packed => {
+                let mut widths =
+                    vec![packed_width.expect("packed encoding has a width").bytes(), 4];
+                widths.extend(child_width.map(AttrWidth::bytes));
+                widths
+            }
+        };
+        let mut lanes: Vec<NodeLane> = Vec::with_capacity(lane_widths.len());
+        for elem_bytes in lane_widths {
+            match mem.try_alloc((map.n_slots * elem_bytes) as u64) {
+                Ok(buffer) => lanes.push(NodeLane { buffer, elem_bytes }),
+                Err(e) => {
+                    for lane in lanes {
+                        mem.free(lane.buffer);
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(Self {
             nodes,
             levels: map.levels,
@@ -183,8 +339,11 @@ impl DeviceForest {
             nodes_per_tree,
             node_bytes,
             attr_width,
+            encoding,
+            packed_width,
+            child_width,
             mode,
-            buffer,
+            lanes,
             n_trees: forest.n_trees(),
             n_attributes: forest.n_attributes(),
             kind: forest.kind(),
@@ -194,48 +353,187 @@ impl DeviceForest {
         })
     }
 
-    /// The simulated global-memory allocation holding the encoded image
-    /// (what an engine must `free` before dropping or replacing the forest).
+    /// The simulated global-memory allocations holding the encoded image,
+    /// one per lane (what an engine must `free` before dropping or replacing
+    /// the forest).
     #[must_use]
-    pub fn buffer(&self) -> GlobalBuffer {
-        self.buffer
+    pub fn buffers(&self) -> Vec<GlobalBuffer> {
+        self.lanes.iter().map(|l| l.buffer).collect()
+    }
+
+    /// The image's device-memory lanes: one whole-node lane for the classic
+    /// encoding; structural-bits + value (+ sparse child-offset) lanes for
+    /// the packed encoding.
+    #[must_use]
+    pub fn lanes(&self) -> &[NodeLane] {
+        &self.lanes
+    }
+
+    /// Simulated device address of `slot`'s entry in lane `lane`.
+    #[must_use]
+    pub fn lane_addr(&self, lane: usize, slot: u32) -> u64 {
+        let l = &self.lanes[lane];
+        l.buffer.elem_addr(u64::from(slot), l.elem_bytes as u64)
+    }
+
+    /// The resolved node encoding.
+    #[must_use]
+    pub fn encoding(&self) -> NodeEncoding {
+        self.encoding
+    }
+
+    /// Structural-entry width (packed encoding only).
+    #[must_use]
+    pub fn packed_width(&self) -> Option<PackedWidth> {
+        self.packed_width
+    }
+
+    /// Child-offset lane width (packed sparse only).
+    #[must_use]
+    pub fn child_width(&self) -> Option<AttrWidth> {
+        self.child_width
+    }
+
+    /// Deterministic fingerprint of everything about the encoding that a
+    /// simulated block trace depends on: the resolved encoding, the per-lane
+    /// element widths, and each lane's base address modulo the transaction
+    /// size (which fixes the coalescing pattern of every node access).
+    ///
+    /// [`crate::strategy::LaunchContext::window_key`] folds this into the
+    /// block-memo key so the cache can never false-share across encodings.
+    #[must_use]
+    pub fn encoding_key(&self, transaction_bytes: u64) -> u64 {
+        let mut k = splitmix64(match self.encoding {
+            NodeEncoding::Classic => 1,
+            NodeEncoding::Packed => 2,
+        });
+        k = splitmix64(k ^ self.node_bytes as u64);
+        k = splitmix64(k ^ self.packed_width.map_or(0, |w| w.bytes() as u64));
+        k = splitmix64(k ^ self.child_width.map_or(0, |w| w.bytes() as u64));
+        for lane in &self.lanes {
+            k = splitmix64(
+                k ^ (((lane.elem_bytes as u64) << 32)
+                    | (lane.buffer.base % transaction_bytes.max(1))),
+            );
+        }
+        k
     }
 
     /// Encodes the full device image (used for storage accounting and
     /// round-trip validation; kernels traverse the decoded `nodes`).
+    ///
+    /// Classic encoding concatenates whole-node records; the packed encoding
+    /// concatenates its lanes (all structural entries, then all f32 values,
+    /// then — sparse mode — all child offsets), mirroring the separate
+    /// device allocations.
     #[must_use]
     pub fn encode_image(&self) -> Vec<u8> {
         let explicit = self.mode == StorageMode::Sparse;
         let mut out = Vec::with_capacity(self.nodes.len() * self.node_bytes);
-        for slot in &self.nodes {
-            match slot {
-                Some(n) => n.encode(self.attr_width, explicit, &mut out),
-                None => DeviceNode::encode_null(self.attr_width, explicit, &mut out),
+        match self.encoding {
+            NodeEncoding::Classic => {
+                for slot in &self.nodes {
+                    match slot {
+                        Some(n) => n.encode(self.attr_width, explicit, &mut out),
+                        None => DeviceNode::encode_null(self.attr_width, explicit, &mut out),
+                    }
+                }
+            }
+            NodeEncoding::Packed => {
+                let pw = self.packed_width.expect("packed encoding has a width");
+                for slot in &self.nodes {
+                    match slot {
+                        Some(n) => pw.put(n.packed_entry(pw), &mut out),
+                        None => pw.put(pw.null_entry(), &mut out),
+                    }
+                }
+                for slot in &self.nodes {
+                    out.put_f32_le(slot.as_ref().map_or(0.0, |n| n.scalar));
+                }
+                if let Some(cw) = self.child_width {
+                    for (i, slot) in self.nodes.iter().enumerate() {
+                        let n = slot.as_ref().expect("packed sparse has no NULL slots");
+                        let entry = if n.leaf {
+                            uint_sentinel(cw)
+                        } else {
+                            debug_assert_eq!(
+                                n.right,
+                                n.left + 1,
+                                "paired layout keeps siblings adjacent"
+                            );
+                            n.left - self.tree_base_of_slot(i as u32)
+                        };
+                        debug_assert!(n.leaf || entry < uint_sentinel(cw));
+                        put_uint(cw, entry, &mut out);
+                    }
+                }
             }
         }
         out
     }
 
     /// Decodes an image back into per-slot nodes (children resolved via heap
-    /// arithmetic in dense mode). Used by tests to prove the byte format is
-    /// faithful.
+    /// arithmetic in dense mode, or from the packed child lane in packed
+    /// sparse mode). Used by tests to prove the byte format is faithful.
     #[must_use]
     pub fn decode_image(&self, image: &[u8]) -> Vec<Option<DeviceNode>> {
         let explicit = self.mode == StorageMode::Sparse;
-        let mut out = Vec::with_capacity(self.nodes.len());
-        let mut cursor = image;
-        for slot in 0..self.nodes.len() {
-            let mut decoded = DeviceNode::decode(self.attr_width, explicit, &mut cursor);
-            if let Some(n) = decoded.as_mut() {
-                if !explicit && !n.leaf {
-                    let (l, r) = self.dense_children(slot as u32);
-                    n.left = l;
-                    n.right = r;
+        let n_slots = self.nodes.len();
+        let mut out = Vec::with_capacity(n_slots);
+        match self.encoding {
+            NodeEncoding::Classic => {
+                let mut cursor = image;
+                for slot in 0..n_slots {
+                    let mut decoded = DeviceNode::decode(self.attr_width, explicit, &mut cursor);
+                    if let Some(n) = decoded.as_mut() {
+                        if !explicit && !n.leaf {
+                            let (l, r) = self.dense_children(slot as u32);
+                            n.left = l;
+                            n.right = r;
+                        }
+                    }
+                    out.push(decoded);
                 }
             }
-            out.push(decoded);
+            NodeEncoding::Packed => {
+                let pw = self.packed_width.expect("packed encoding has a width");
+                let (bits, rest) = image.split_at(n_slots * pw.bytes());
+                let (values, children) = rest.split_at(n_slots * 4);
+                for slot in 0..n_slots {
+                    let entry = pw.get(&mut &bits[slot * pw.bytes()..]);
+                    let scalar = f32::from_le_bytes(
+                        values[slot * 4..slot * 4 + 4].try_into().expect("4 bytes"),
+                    );
+                    let mut decoded = DeviceNode::from_packed(pw, entry, scalar, NO_SLOT, NO_SLOT);
+                    if let Some(n) = decoded.as_mut() {
+                        if !n.leaf {
+                            match self.child_width {
+                                Some(cw) => {
+                                    let rel = get_uint(cw, &children[slot * cw.bytes()..]);
+                                    n.left = self.tree_base_of_slot(slot as u32) + rel;
+                                    n.right = n.left + 1;
+                                }
+                                None => {
+                                    let (l, r) = self.dense_children(slot as u32);
+                                    n.left = l;
+                                    n.right = r;
+                                }
+                            }
+                        }
+                    }
+                    out.push(decoded);
+                }
+            }
         }
         out
+    }
+
+    /// Base slot of the tree containing `slot` (packed sparse layout only,
+    /// where trees are contiguous and `roots` are the ascending bases).
+    fn tree_base_of_slot(&self, slot: u32) -> u32 {
+        debug_assert!(self.child_width.is_some(), "tree bases need the paired layout");
+        let t = self.roots.partition_point(|&r| r <= slot) - 1;
+        self.roots[t]
     }
 
     /// Dense-mode child slots via heap arithmetic.
@@ -278,10 +576,11 @@ impl DeviceForest {
         self.nodes[slot].as_ref()
     }
 
-    /// Simulated device address of a slot.
+    /// Simulated device address of a slot in lane 0 (the whole node record
+    /// in classic encoding; the structural-bits entry in packed encoding).
     #[must_use]
     pub fn node_addr(&self, slot: u32) -> u64 {
-        self.buffer.elem_addr(u64::from(slot), self.node_bytes as u64)
+        self.lane_addr(0, slot)
     }
 
     /// Tree level of a slot.
@@ -440,8 +739,8 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let plan = LayoutPlan::identity(&forest);
         let config = FormatConfig {
-            varlen_attr: true,
             mode: Some(StorageMode::Sparse),
+            ..FormatConfig::adaptive()
         };
         let df = DeviceForest::build(&forest, &plan, config, &mut mem);
         assert_eq!(df.mode(), StorageMode::Sparse);
@@ -549,7 +848,9 @@ mod tests {
     #[test]
     fn build_registers_its_buffer() {
         let (_, df, _) = build_pair("letter");
-        assert_eq!(df.buffer().bytes as usize, df.image_bytes());
+        let total: usize = df.buffers().iter().map(|b| b.bytes as usize).sum();
+        assert_eq!(total, df.image_bytes());
+        assert_eq!(df.buffers().len(), 1, "classic encoding is one lane");
     }
 
     #[test]
@@ -558,5 +859,155 @@ mod tests {
         let a0 = df.node_addr(0);
         let a1 = df.node_addr(1);
         assert_eq!(a1 - a0, df.node_bytes() as u64);
+    }
+
+    fn build_packed(name: &str, mode: Option<StorageMode>) -> (Forest, DeviceForest, tahoe_datasets::Dataset) {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, infer) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let mut mem = DeviceMemory::new();
+        let plan = LayoutPlan::identity(&forest);
+        let config = FormatConfig {
+            mode,
+            ..FormatConfig::packed()
+        };
+        let df = DeviceForest::build(&forest, &plan, config, &mut mem);
+        (forest, df, infer)
+    }
+
+    #[test]
+    fn packed_predictions_match_reference_dense() {
+        let (forest, df, infer) = build_packed("letter", Some(StorageMode::Dense));
+        assert_eq!(df.encoding(), NodeEncoding::Packed);
+        assert_eq!(df.packed_width(), Some(PackedWidth::U8));
+        assert_eq!(df.lanes().len(), 2);
+        let reference = predict_dataset(&forest, &infer.samples);
+        let device = df.predict_batch(&infer.samples);
+        for (a, b) in reference.iter().zip(&device) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packed_predictions_match_reference_sparse() {
+        let (forest, df, infer) = build_packed("letter", Some(StorageMode::Sparse));
+        assert_eq!(df.encoding(), NodeEncoding::Packed);
+        assert_eq!(df.lanes().len(), 3, "bits + values + child offsets");
+        assert!(df.child_width().is_some());
+        let reference = predict_dataset(&forest, &infer.samples);
+        let device = df.predict_batch(&infer.samples);
+        for (a, b) in reference.iter().zip(&device) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packed_image_roundtrip_is_faithful() {
+        for mode in [StorageMode::Dense, StorageMode::Sparse] {
+            let (_, df, _) = build_packed("letter", Some(mode));
+            let image = df.encode_image();
+            assert_eq!(image.len(), df.image_bytes());
+            let decoded = df.decode_image(&image);
+            for (slot, (a, b)) in df.nodes.iter().zip(&decoded).enumerate() {
+                assert_eq!(a, b, "{mode:?}: slot {slot} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_sparse_halves_bytes_per_node() {
+        // letter has 16 attributes (U8 entry: 1 B) and smoke-scale trees are
+        // small (U8 child offsets): 1 + 4 + 1 = 6 B vs the classic adaptive
+        // sparse 14 B — comfortably past the 2x the format study claims.
+        let (_, packed, _) = build_packed("letter", Some(StorageMode::Sparse));
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let (train, _) = data.split_train_infer();
+        let forest = train_for_spec(&spec, &train, Scale::Smoke);
+        let mut mem = DeviceMemory::new();
+        let plan = LayoutPlan::identity(&forest);
+        let classic = DeviceForest::build(
+            &forest,
+            &plan,
+            FormatConfig {
+                mode: Some(StorageMode::Sparse),
+                ..FormatConfig::adaptive()
+            },
+            &mut mem,
+        );
+        assert!(
+            2 * packed.node_bytes() <= classic.node_bytes(),
+            "packed {} B vs classic {} B",
+            packed.node_bytes(),
+            classic.node_bytes()
+        );
+        assert!(2 * packed.image_bytes() <= classic.image_bytes());
+    }
+
+    #[test]
+    fn packed_lane_addresses_are_disjoint_and_contiguous() {
+        let (_, df, _) = build_packed("letter", Some(StorageMode::Sparse));
+        for (i, lane) in df.lanes().iter().enumerate() {
+            // Per-lane addressing strides by the lane's element width.
+            assert_eq!(
+                df.lane_addr(i, 1) - df.lane_addr(i, 0),
+                lane.elem_bytes as u64
+            );
+        }
+        // Lanes are separate allocations: ranges must not overlap.
+        let mut ranges: Vec<(u64, u64)> = df
+            .lanes()
+            .iter()
+            .map(|l| (l.buffer.base, l.buffer.base + l.buffer.bytes))
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "lanes overlap: {ranges:?}");
+        }
+    }
+
+    #[test]
+    fn packed_falls_back_to_classic_when_attrs_overflow() {
+        // gisette has 5 000 attributes — fine for a U16 entry; fabricate the
+        // overflow case via the width rule directly and via a real build.
+        let (_, df, _) = build_packed("gisette", Some(StorageMode::Dense));
+        assert_eq!(df.encoding(), NodeEncoding::Packed);
+        assert_eq!(df.packed_width(), Some(PackedWidth::U16));
+        assert_eq!(PackedWidth::minimal(1 << 29), None);
+    }
+
+    #[test]
+    fn packed_oom_rolls_back_all_lanes() {
+        let spec = DatasetSpec::by_name("letter").unwrap();
+        let data = spec.generate(Scale::Smoke);
+        let forest = train_for_spec(&spec, &data, Scale::Smoke);
+        let plan = LayoutPlan::identity(&forest);
+        // Enough for the 1 B/node bits lane, not for the 4 B/node value
+        // lane: the partial allocation must be rolled back.
+        let total_nodes = forest.stats().total_nodes as u64;
+        let mut mem = DeviceMemory::with_capacity(2 * total_nodes);
+        let config = FormatConfig {
+            mode: Some(StorageMode::Sparse),
+            ..FormatConfig::packed()
+        };
+        let err = DeviceForest::try_build(&forest, &plan, config, &mut mem).unwrap_err();
+        assert!(err.requested_bytes > 0);
+        assert_eq!(mem.in_use_bytes(), 0, "failed build must leave no lanes allocated");
+    }
+
+    #[test]
+    fn encoding_key_separates_encodings_and_widths() {
+        let (_, classic, _) = build_pair("letter");
+        let (_, packed_dense, _) = build_packed("letter", Some(StorageMode::Dense));
+        let (_, packed_sparse, _) = build_packed("letter", Some(StorageMode::Sparse));
+        let keys = [
+            classic.encoding_key(128),
+            packed_dense.encoding_key(128),
+            packed_sparse.encoding_key(128),
+        ];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
     }
 }

@@ -56,8 +56,8 @@ pub mod telemetry;
 pub mod tune;
 
 pub use cluster::{ClusterRun, DeviceRun, GpuCluster};
-pub use engine::{Engine, EngineOptions, InferenceResult};
-pub use format::{DeviceForest, FormatConfig, LayoutPlan};
+pub use engine::{Engine, EngineOptions, InferenceResult, NodeEncodingChoice};
+pub use format::{DeviceForest, FormatConfig, LayoutPlan, NodeEncoding, PackedWidth};
 pub use perfmodel::{ModelInputs, Prediction};
 pub use profile::{DriftRecord, KernelProfile, ProfilesExport};
 pub use rearrange::{adaptive_plan, similarity_order, SimilarityParams};

@@ -9,7 +9,7 @@ use tahoe_gpu_sim::memo::{BlockKey, KeyHasher};
 use tahoe_gpu_sim::memory::GlobalBuffer;
 use tahoe_gpu_sim::{BlockSim, WarpSim};
 
-use crate::format::DeviceForest;
+use crate::format::{DeviceForest, NodeEncoding};
 use crate::telemetry::TelemetryCtx;
 
 /// The four inference strategies of §5.1.
@@ -100,13 +100,17 @@ impl LaunchContext<'_> {
     /// Memo fingerprint of the sample window `[start, end)` this block works
     /// on (see [`sample_window_key`]); `salt` names the tree slice the block
     /// stages (`0` for whole-forest strategies, the part index for
-    /// splitting-shared-forest).
+    /// splitting-shared-forest). The forest's
+    /// [`DeviceForest::encoding_key`] — resolved encoding, packed widths,
+    /// lane alignments — is folded in so the cache never false-shares across
+    /// node encodings.
     #[must_use]
     pub fn window_key(&self, salt: u64, start: usize, end: usize) -> BlockKey {
         sample_window_key(
             self.samples,
             self.sample_buf,
             self.device.transaction_bytes,
+            self.forest.encoding_key(self.device.transaction_bytes),
             salt,
             start,
             end,
@@ -186,6 +190,7 @@ pub fn launch_kernel<'a>(
 ) -> KernelSim<'a> {
     let mut sim = KernelSim::new(ctx.device, grid_blocks, threads_per_block, smem_per_block);
     sim.set_trace(ctx.telemetry.sink, label, ctx.telemetry.t0_ns);
+    sim.set_node_bytes(ctx.forest.node_bytes() as u64);
     sim
 }
 
@@ -229,21 +234,29 @@ pub fn sample_attr_addr(
 ///   uniform shift iff the windows' base addresses are congruent modulo the
 ///   device's transaction size, which the key hashes explicitly. Distances
 ///   are shift-invariant outright. Node addresses don't vary per block at
-///   all for a fixed tree slice, which `salt` pins.
+///   all for a fixed tree slice, which `salt` pins;
+/// - the node-access *shape*: the classic encoding reads whole node records,
+///   the packed encoding issues joint per-lane reads whose widths and
+///   alignments come from the forest image. `encoding` carries
+///   [`DeviceForest::encoding_key`] so blocks built against different
+///   encodings (or differently aligned lanes) can never share a cache entry.
 ///
-/// Empty windows hash as `(salt, len = 0)` with no address term: such blocks
-/// only restage their slice, which the salt already determines.
+/// Empty windows hash as `(encoding, salt, len = 0)` with no address term:
+/// such blocks only restage their slice, which the salt already determines.
+#[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn sample_window_key(
     samples: &SampleMatrix,
     sample_buf: GlobalBuffer,
     transaction_bytes: u64,
+    encoding: u64,
     salt: u64,
     start: usize,
     end: usize,
 ) -> BlockKey {
     let end = end.max(start);
     let mut h = KeyHasher::new();
+    h.write_u64(encoding);
     h.write_u64(salt);
     h.write_u64((end - start) as u64);
     if start < end {
@@ -310,6 +323,72 @@ pub fn simulate_staging(block: &mut BlockSim<'_>, base_addr: u64, n_words: usize
     });
 }
 
+/// Issues the packed encoding's joint struct-of-arrays node fetch: the
+/// bits/value(/child) lanes of the same slots, one dependent latency total
+/// (see [`WarpSim::gmem_read_joint`]).
+pub(crate) fn packed_node_read(
+    warp: &mut WarpSim<'_>,
+    forest: &DeviceForest,
+    node_accesses: &[(u8, u64)],
+    value_accesses: &[(u8, u64)],
+    child_accesses: &[(u8, u64)],
+    level: Option<u32>,
+) {
+    let lanes = forest.lanes();
+    let mut sets: [(&[(u8, u64)], u64); 3] = [(&[], 0); 3];
+    sets[0] = (node_accesses, lanes[0].elem_bytes as u64);
+    sets[1] = (value_accesses, lanes[1].elem_bytes as u64);
+    let mut n_sets = 2;
+    if let Some(child_lane) = lanes.get(2) {
+        sets[2] = (child_accesses, child_lane.elem_bytes as u64);
+        n_sets = 3;
+    }
+    warp.gmem_read_joint(&sets[..n_sets], level);
+}
+
+/// Simulates a block staging layout trees `[from, to)` of the forest into
+/// shared memory.
+///
+/// Classic encoding streams the single whole-node lane starting at the
+/// slice's first root — the historical behaviour, preserved byte-for-byte
+/// (word count truncates, base is the root's address). The packed encoding
+/// streams each struct-of-arrays lane separately, so the smaller image shows
+/// up directly as fewer staged words (and fewer streamed transactions in the
+/// coalescing report).
+pub fn stage_forest_slice(
+    block: &mut BlockSim<'_>,
+    forest: &DeviceForest,
+    from: usize,
+    to: usize,
+    n_warps: usize,
+) {
+    if from >= to {
+        return;
+    }
+    let slice_bytes = forest.trees_smem_bytes(from, to);
+    if slice_bytes == 0 {
+        return;
+    }
+    let first_root = forest.roots()[from];
+    match forest.encoding() {
+        NodeEncoding::Classic => {
+            simulate_staging(block, forest.node_addr(first_root), slice_bytes / 4, n_warps);
+        }
+        NodeEncoding::Packed => {
+            let n_nodes = slice_bytes / forest.node_bytes();
+            for (lane_idx, lane) in forest.lanes().iter().enumerate() {
+                let words = (n_nodes * lane.elem_bytes).div_ceil(4);
+                simulate_staging(
+                    block,
+                    forest.lane_addr(lane_idx, first_root),
+                    words,
+                    n_warps,
+                );
+            }
+        }
+    }
+}
+
 /// Per-lane traversal state machine over one tree, shared by the
 /// thread-per-sample strategies.
 ///
@@ -343,15 +422,31 @@ pub fn traverse_tree_warp(
         .slots
         .extend(lane_samples.iter().map(|s| s.map(|_| root)));
     let n_attr = samples.n_attributes();
+    let packed = forest.encoding() == NodeEncoding::Packed;
     let mut level = 0u32;
     loop {
-        // Gather active lanes' node reads.
+        // Gather active lanes' node reads. Lane 0 is the whole record
+        // (classic) or the structural-bits entry (packed); the packed
+        // encoding additionally gathers the value and child lanes for a
+        // joint struct-of-arrays fetch.
         scratch.node_accesses.clear();
+        scratch.value_accesses.clear();
+        scratch.child_accesses.clear();
         for (lane, slot) in scratch.slots.iter().enumerate() {
             if let Some(slot) = slot {
                 scratch
                     .node_accesses
-                    .push((lane as u8, forest.node_addr(*slot)));
+                    .push((lane as u8, forest.lane_addr(0, *slot)));
+                if packed {
+                    scratch
+                        .value_accesses
+                        .push((lane as u8, forest.lane_addr(1, *slot)));
+                    if forest.lanes().len() > 2 {
+                        scratch
+                            .child_accesses
+                            .push((lane as u8, forest.lane_addr(2, *slot)));
+                    }
+                }
             }
         }
         if scratch.node_accesses.is_empty() {
@@ -366,7 +461,21 @@ pub fn traverse_tree_warp(
             warp.smem_access(&scratch.active_lanes, node_bytes);
         } else {
             let tag = cfg.tag_levels.then_some(level);
-            warp.gmem_read(&scratch.node_accesses, node_bytes, tag);
+            if packed {
+                // All lanes are indexed by the already-known slot, so the
+                // loads overlap: one dependent latency, every lane's
+                // bandwidth charged (see `WarpSim::gmem_read_joint`).
+                packed_node_read(
+                    warp,
+                    forest,
+                    &scratch.node_accesses,
+                    &scratch.value_accesses,
+                    &scratch.child_accesses,
+                    tag,
+                );
+            } else {
+                warp.gmem_read(&scratch.node_accesses, node_bytes, tag);
+            }
         }
         // Attribute reads + evaluation for lanes at decision nodes.
         scratch.attr_accesses.clear();
@@ -405,6 +514,8 @@ pub fn traverse_tree_warp(
 pub struct TraversalScratch {
     slots: Vec<Option<u32>>,
     node_accesses: Vec<(u8, u64)>,
+    value_accesses: Vec<(u8, u64)>,
+    child_accesses: Vec<(u8, u64)>,
     attr_accesses: Vec<(u8, u64)>,
     active_lanes: Vec<u8>,
     eval_lanes: Vec<u8>,
@@ -473,12 +584,19 @@ mod tests {
         let samples = SampleMatrix::from_vec(8, 4, values);
         let buf = mem.alloc((samples.n_samples() * samples.sample_bytes()) as u64);
 
-        let key = |m: &SampleMatrix, salt, s0, s1| sample_window_key(m, buf, 128, salt, s0, s1);
+        let key =
+            |m: &SampleMatrix, salt, s0, s1| sample_window_key(m, buf, 128, 0, salt, s0, s1);
 
         // Same window, same everything: deterministic.
         assert_eq!(key(&samples, 0, 0, 4), key(&samples, 0, 0, 4));
         // Identical content but misaligned base (64 % 128 != 0): must miss.
         assert_ne!(key(&samples, 0, 0, 4), key(&samples, 0, 4, 8));
+        // A different encoding fingerprint must miss even when the window,
+        // salt, and alignment all match.
+        assert_ne!(
+            sample_window_key(&samples, buf, 128, 1, 0, 0, 4),
+            sample_window_key(&samples, buf, 128, 2, 0, 0, 4)
+        );
         // Re-tile at a 128 B-aligned stride: window 2 starts 8 rows = 128 B
         // in, so identical content now hits.
         let mut aligned = tile.clone();
@@ -488,7 +606,7 @@ mod tests {
         let big = SampleMatrix::from_vec(16, 4, aligned);
         let big_buf = mem.alloc((big.n_samples() * big.sample_bytes()) as u64);
         let bkey = |m: &SampleMatrix, s0: usize, s1: usize| {
-            sample_window_key(m, big_buf, 128, 0, s0, s1)
+            sample_window_key(m, big_buf, 128, 0, 0, s0, s1)
         };
         assert_eq!(bkey(&big, 0, 4), bkey(&big, 8, 12));
         // One f32 nudged by one ULP in an otherwise identical window: miss.

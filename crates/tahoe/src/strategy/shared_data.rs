@@ -17,10 +17,10 @@
 use tahoe_gpu_sim::kernel::sample_plan;
 
 use super::common::{
-    launch_kernel, round_robin_trees, simulate_staging, Geometry, LaunchContext, Strategy,
-    StrategyRun,
+    launch_kernel, packed_node_read, round_robin_trees, simulate_staging, Geometry,
+    LaunchContext, Strategy, StrategyRun,
 };
-use crate::format::DeviceForest;
+use crate::format::{DeviceForest, NodeEncoding};
 
 /// Launch shape shared by `geometry` and `run`.
 struct Shape {
@@ -140,6 +140,8 @@ struct WarpScratch {
     lane_trees: Vec<Option<u32>>,
     slots: Vec<Option<u32>>,
     node_accesses: Vec<(u8, u64)>,
+    value_accesses: Vec<(u8, u64)>,
+    child_accesses: Vec<(u8, u64)>,
     eval_lanes: Vec<u8>,
 }
 
@@ -170,20 +172,44 @@ fn traverse_assigned_trees(
             .push(t.map(|tree| forest.roots()[tree as usize]));
     }
     let row = samples.row(sample);
+    let packed = forest.encoding() == NodeEncoding::Packed;
     let mut level = 0u32;
     loop {
         scratch.node_accesses.clear();
+        scratch.value_accesses.clear();
+        scratch.child_accesses.clear();
         for (lane, slot) in scratch.slots.iter().enumerate() {
             if let Some(slot) = slot {
                 scratch
                     .node_accesses
-                    .push((lane as u8, forest.node_addr(*slot)));
+                    .push((lane as u8, forest.lane_addr(0, *slot)));
+                if packed {
+                    scratch
+                        .value_accesses
+                        .push((lane as u8, forest.lane_addr(1, *slot)));
+                    if forest.lanes().len() > 2 {
+                        scratch
+                            .child_accesses
+                            .push((lane as u8, forest.lane_addr(2, *slot)));
+                    }
+                }
             }
         }
         if scratch.node_accesses.is_empty() {
             break;
         }
-        warp.gmem_read(&scratch.node_accesses, forest.node_bytes() as u64, Some(level));
+        if packed {
+            packed_node_read(
+                warp,
+                forest,
+                &scratch.node_accesses,
+                &scratch.value_accesses,
+                &scratch.child_accesses,
+                Some(level),
+            );
+        } else {
+            warp.gmem_read(&scratch.node_accesses, forest.node_bytes() as u64, Some(level));
+        }
         scratch.eval_lanes.clear();
         for lane in 0..scratch.slots.len() {
             let Some(slot) = scratch.slots[lane] else { continue };

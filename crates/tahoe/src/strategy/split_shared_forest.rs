@@ -17,7 +17,7 @@ use tahoe_gpu_sim::kernel::sample_plan;
 use tahoe_gpu_sim::occupancy::concurrent_blocks;
 
 use super::common::{
-    launch_kernel, simulate_staging, traverse_tree_warp, with_block_scratch, Geometry,
+    launch_kernel, stage_forest_slice, traverse_tree_warp, with_block_scratch, Geometry,
     LaunchContext, Strategy, StrategyRun, TraversalConfig,
 };
 use crate::format::DeviceForest;
@@ -126,12 +126,9 @@ pub fn run(ctx: &LaunchContext<'_>) -> Option<StrategyRun> {
         let tile = block_idx / n_parts;
         let t0 = tile * tile_len;
         let t1 = (t0 + tile_len).min(n);
-        // Stage this part's trees from global to shared memory (coalesced).
-        let part_bytes = ctx.forest.trees_smem_bytes(part.start, part.end);
-        if part_bytes > 0 {
-            let base = ctx.forest.node_addr(ctx.forest.roots()[part.start]);
-            simulate_staging(&mut block, base, part_bytes / 4, n_warps);
-        }
+        // Stage this part's trees from global to shared memory (coalesced;
+        // the packed encoding streams each image lane separately).
+        stage_forest_slice(&mut block, ctx.forest, part.start, part.end, n_warps);
         let rounds = (t1.saturating_sub(t0)).div_ceil(threads);
         with_block_scratch(|scratch| {
             for w in 0..n_warps {

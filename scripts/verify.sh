@@ -16,12 +16,14 @@ cargo test --workspace --release
 # (Chrome trace, metrics snapshot, kernel profiles) byte-for-byte across
 # worker counts; telemetry_schema keeps the trace loadable by Perfetto,
 # profile_schema pins the profiler payload, and drift_audit bounds
-# model-vs-simulator error.
+# model-vs-simulator error. property_based rides along so the functional
+# equivalence proofs (every format/plan/strategy, classic and packed node
+# encodings, vs the CPU reference) hold in every cell too.
 for workers in 1 4; do
     for memo in 0 1; do
         TAHOE_SIM_THREADS=$workers TAHOE_SIM_MEMO=$memo \
             cargo test --release --test determinism --test telemetry_schema \
-            --test profile_schema --test drift_audit
+            --test profile_schema --test drift_audit --test property_based
     done
 done
 

@@ -24,7 +24,7 @@ use tahoe_repro::datasets::{
     self, Dataset, DatasetSpec, Scale, Task,
 };
 use tahoe_repro::engine::cluster::GpuCluster;
-use tahoe_repro::engine::engine::{Engine, EngineOptions};
+use tahoe_repro::engine::engine::{Engine, EngineOptions, NodeEncodingChoice};
 use tahoe_repro::engine::profile::{HistogramExport, ProfilesExport};
 use tahoe_repro::engine::serving::{BatchingPolicy, ClusterServingSim};
 use tahoe_repro::engine::strategy::Strategy;
@@ -86,6 +86,9 @@ common flags:
   --kind <gbdt|rf>         ensemble type for CSV training (default gbdt)
   --task <class|reg>       CSV label type (default class)
   --strategy <s>           auto|shared-data|direct|shared-forest|splitting
+  --node-encoding <e>      infer/bench: classic|packed|auto (default auto —
+                           packed struct-of-arrays lanes when the attribute
+                           count allows it, classic otherwise)
   --batch N                inference batch size (default: whole dataset)
   --out <file>             write predictions as CSV
   --prune EPS              collapse near-constant subtrees after training
@@ -114,6 +117,7 @@ struct Flags {
     kind: Option<String>,
     task: Option<String>,
     strategy: Option<String>,
+    node_encoding: Option<String>,
     batch: Option<usize>,
     gpus: Option<usize>,
     devices: Option<String>,
@@ -140,6 +144,7 @@ impl Flags {
             kind: None,
             task: None,
             strategy: None,
+            node_encoding: None,
             batch: None,
             gpus: None,
             devices: None,
@@ -173,6 +178,7 @@ impl Flags {
                 "--kind" => f.kind = Some(value()?),
                 "--task" => f.task = Some(value()?),
                 "--strategy" => f.strategy = Some(value()?),
+                "--node-encoding" => f.node_encoding = Some(value()?),
                 "--batch" => f.batch = Some(parse_num(&value()?, "--batch")?),
                 "--gpus" => f.gpus = Some(parse_num(&value()?, "--gpus")?),
                 "--devices" => f.devices = Some(value()?),
@@ -270,6 +276,15 @@ impl Flags {
             println!("wrote kernel profiles to {}", path.display());
         }
         Ok(())
+    }
+
+    fn node_encoding(&self) -> Result<NodeEncodingChoice, String> {
+        match self.node_encoding.as_deref().unwrap_or("auto") {
+            "classic" => Ok(NodeEncodingChoice::Classic),
+            "packed" => Ok(NodeEncodingChoice::Packed),
+            "auto" => Ok(NodeEncodingChoice::Auto),
+            other => Err(format!("unknown node encoding '{other}' (classic|packed|auto)")),
+        }
     }
 
     fn strategy(&self) -> Result<Option<Strategy>, String> {
@@ -418,7 +433,11 @@ fn cmd_infer(flags: &Flags) -> Result<(), String> {
     let force = flags.strategy()?;
     let batch = batch_samples(flags, &data);
     let sink = flags.sink();
-    let mut engine = Engine::with_telemetry(device, forest, EngineOptions::tahoe(), sink.clone());
+    let options = EngineOptions {
+        node_encoding: flags.node_encoding()?,
+        ..EngineOptions::tahoe()
+    };
+    let mut engine = Engine::with_telemetry(device, forest, options, sink.clone());
     if let Some(s) = force {
         if !engine.feasible(s, &batch) {
             return Err(format!("strategy '{s}' is infeasible for this forest/device"));
@@ -432,6 +451,12 @@ fn cmd_infer(flags: &Flags) -> Result<(), String> {
         batch.n_samples(),
         result.run.kernel.total_ns / 1e3,
         result.run.throughput_samples_per_us()
+    );
+    println!(
+        "node encoding {:?}  {} B/node  image {} B",
+        engine.device_forest().encoding(),
+        engine.device_forest().node_bytes(),
+        engine.device_forest().image_bytes()
     );
     if let Some(out) = &flags.out {
         let mut text = String::with_capacity(result.predictions.len() * 12);
@@ -455,9 +480,16 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
         forest,
         EngineOptions {
             functional: false,
+            node_encoding: flags.node_encoding()?,
             ..EngineOptions::tahoe()
         },
         sink.clone(),
+    );
+    println!(
+        "node encoding {:?}  {} B/node  image {} B",
+        engine.device_forest().encoding(),
+        engine.device_forest().node_bytes(),
+        engine.device_forest().image_bytes()
     );
     println!("{:<26} {:>14} {:>12}", "strategy", "ns/sample", "samples/us");
     for s in Strategy::ALL {
@@ -574,8 +606,13 @@ fn print_profile_report(export: &ProfilesExport, top: usize) {
             100.0 * k.achieved_occupancy,
             k.occupancy_limiter.as_str()
         );
+        let node_bytes = if k.node_bytes > 0 {
+            format!("  {} B/node", k.node_bytes)
+        } else {
+            String::new()
+        };
         println!(
-            "    warp-exec {:.1}%  gmem coalescing {:.1}% ({:.2} txn/req)  roofline {:.1}%",
+            "    warp-exec {:.1}%  gmem coalescing {:.1}% ({:.2} txn/req){node_bytes}  roofline {:.1}%",
             100.0 * k.warp_exec_efficiency,
             100.0 * k.gmem_coalescing_efficiency,
             k.transactions_per_request,

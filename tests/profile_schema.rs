@@ -44,6 +44,7 @@ fn profiles_export_matches_the_golden_schema() {
             "grid_blocks",
             "threads_per_block",
             "smem_per_block",
+            "node_bytes",
             "sampled_blocks",
             "concurrent_blocks",
             "waves",
@@ -78,6 +79,12 @@ fn profiles_export_matches_the_golden_schema() {
         assert!(
             (sum - total).abs() <= 1e-6 * total.max(1.0),
             "breakdown sums to total: {sum} vs {total}"
+        );
+        // Engine launches always traverse a forest image, so the profile
+        // must carry its per-node width for the CLI's bytes/node readout.
+        assert!(
+            k["node_bytes"].as_u64().unwrap_or(0) > 0,
+            "engine launches record the forest's bytes per node: {k:?}"
         );
         for ratio in [
             "achieved_occupancy",

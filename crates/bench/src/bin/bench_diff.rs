@@ -1,0 +1,401 @@
+//! Diffs two `results/` snapshots and flags metric regressions.
+//!
+//! ```text
+//! cargo run --release -p tahoe-bench --bin bench_diff -- \
+//!     <baseline_dir> <candidate_dir> [--threshold 0.10] [--warn-only]
+//! ```
+//!
+//! Every `*.json` record in each directory is flattened to its numeric
+//! leaves, keyed `file.json:dotted.path` (array elements by index). A metric
+//! present in both snapshots whose relative change exceeds the threshold is
+//! reported as drift; keys present on only one side are listed but never
+//! fail the run (experiments come and go between snapshots). Exit status is
+//! 1 when drift was found and `--warn-only` was not given, so the diff can
+//! gate CI while staying advisory during local iteration.
+//!
+//! Direction is deliberately ignored: the harness cannot know whether a
+//! given counter is better high or low, so any move beyond the threshold is
+//! surfaced and a human decides. Simulated metrics are deterministic — the
+//! expected diff between two runs of the same code is *empty*, which keeps
+//! even a tight threshold quiet.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+const USAGE: &str = "usage: bench_diff <baseline_dir> <candidate_dir> \
+[--threshold <frac>] [--warn-only] [--top <n>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_dir(Path::new(&opts.baseline)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let candidate = match load_dir(Path::new(&opts.candidate)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: candidate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = diff(&baseline, &candidate, opts.threshold);
+    print!("{}", report.render(opts.top));
+    if !report.regressions.is_empty() && !opts.warn_only {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+struct Options {
+    baseline: String,
+    candidate: String,
+    threshold: f64,
+    warn_only: bool,
+    top: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut dirs: Vec<String> = Vec::new();
+        let mut threshold: f64 = 0.10;
+        let mut warn_only = false;
+        let mut top = 20;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threshold" => {
+                    let v = it.next().ok_or("missing value for --threshold")?;
+                    threshold = v
+                        .parse()
+                        .map_err(|_| format!("bad number '{v}' for --threshold"))?;
+                    if !(threshold.is_finite() && threshold >= 0.0) {
+                        return Err(format!("--threshold must be finite and >= 0, got {v}"));
+                    }
+                }
+                "--top" => {
+                    let v = it.next().ok_or("missing value for --top")?;
+                    top = v.parse().map_err(|_| format!("bad number '{v}' for --top"))?;
+                }
+                "--warn-only" => warn_only = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag '{other}'"));
+                }
+                dir => dirs.push(dir.to_string()),
+            }
+        }
+        if dirs.len() != 2 {
+            return Err(format!("expected 2 directories, got {}", dirs.len()));
+        }
+        let candidate = dirs.pop().expect("checked len");
+        let baseline = dirs.pop().expect("checked len");
+        Ok(Options { baseline, candidate, threshold, warn_only, top })
+    }
+}
+
+/// Loads every `*.json` file in `dir` and flattens its numeric leaves into
+/// `file.json:dotted.path` keys.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    let mut out = BTreeMap::new();
+    for path in files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let value: Value = serde_json::from_str(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        flatten(&format!("{name}:"), &value, &mut out);
+    }
+    if out.is_empty() {
+        return Err(format!("no numeric metrics found under {}", dir.display()));
+    }
+    Ok(out)
+}
+
+/// Recursively collects numeric leaves under dotted paths.
+fn flatten(prefix: &str, value: &Value, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Number(n) => {
+            out.insert(prefix.trim_end_matches('.').to_string(), n.as_f64());
+        }
+        Value::Bool(b) => {
+            out.insert(prefix.trim_end_matches('.').to_string(), f64::from(*b));
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(&format!("{prefix}{i}."), item, out);
+            }
+        }
+        Value::Object(entries) => {
+            for (key, item) in entries {
+                flatten(&format!("{prefix}{key}."), item, out);
+            }
+        }
+        Value::Null | Value::String(_) => {}
+    }
+}
+
+struct Drift {
+    key: String,
+    base: f64,
+    cand: f64,
+    /// Relative change; infinite when the baseline was exactly zero.
+    rel: f64,
+}
+
+struct DiffReport {
+    compared: usize,
+    threshold: f64,
+    regressions: Vec<Drift>,
+    only_baseline: Vec<String>,
+    only_candidate: Vec<String>,
+}
+
+/// Compares flattened snapshots: metrics in both dirs whose relative change
+/// exceeds `threshold` become regressions, sorted worst-first.
+fn diff(
+    baseline: &BTreeMap<String, f64>,
+    candidate: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> DiffReport {
+    let mut regressions = Vec::new();
+    let mut compared = 0;
+    for (key, &base) in baseline {
+        let Some(&cand) = candidate.get(key) else {
+            continue;
+        };
+        compared += 1;
+        let rel = relative_change(base, cand);
+        if rel.abs() > threshold {
+            regressions.push(Drift { key: key.clone(), base, cand, rel });
+        }
+    }
+    regressions.sort_by(|a, b| {
+        b.rel
+            .abs()
+            .partial_cmp(&a.rel.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    let only_baseline: Vec<String> = baseline
+        .keys()
+        .filter(|k| !candidate.contains_key(*k))
+        .cloned()
+        .collect();
+    let only_candidate: Vec<String> = candidate
+        .keys()
+        .filter(|k| !baseline.contains_key(*k))
+        .cloned()
+        .collect();
+    DiffReport { compared, threshold, regressions, only_baseline, only_candidate }
+}
+
+/// `(cand - base) / |base|`; a zero baseline moving to non-zero counts as an
+/// infinite change (always beyond any threshold), zero-to-zero as none.
+fn relative_change(base: f64, cand: f64) -> f64 {
+    if base == 0.0 {
+        if cand == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(cand)
+        }
+    } else {
+        (cand - base) / base.abs()
+    }
+}
+
+impl DiffReport {
+    fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compared {} metrics (threshold {:.1}%): {} beyond threshold",
+            self.compared,
+            100.0 * self.threshold,
+            self.regressions.len()
+        );
+        for d in self.regressions.iter().take(top) {
+            let rel = if d.rel.is_finite() {
+                format!("{:+.1}%", 100.0 * d.rel)
+            } else {
+                "new-nonzero".to_string()
+            };
+            let _ = writeln!(out, "  {:<12} {}  {} -> {}", rel, d.key, d.base, d.cand);
+        }
+        if self.regressions.len() > top {
+            let _ = writeln!(out, "  ... and {} more", self.regressions.len() - top);
+        }
+        if !self.only_baseline.is_empty() {
+            let _ = writeln!(
+                out,
+                "metrics only in baseline: {} (first: {})",
+                self.only_baseline.len(),
+                self.only_baseline[0]
+            );
+        }
+        if !self.only_candidate.is_empty() {
+            let _ = writeln!(
+                out,
+                "metrics only in candidate: {} (first: {})",
+                self.only_candidate.len(),
+                self.only_candidate[0]
+            );
+        }
+        if self.regressions.is_empty() {
+            let _ = writeln!(out, "no drift beyond threshold");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "tahoe-bench-diff-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn write(dir: &Path, name: &str, text: &str) {
+        std::fs::write(dir.join(name), text).expect("write fixture");
+    }
+
+    #[test]
+    fn flatten_walks_objects_arrays_and_bools() {
+        let v: Value = serde_json::from_str(
+            r#"{"a": 1, "b": {"c": 2.5}, "rows": [{"x": 3}, {"x": 4}],
+                "flag": true, "name": "ignored", "none": null}"#,
+        )
+        .expect("parses");
+        let mut out = BTreeMap::new();
+        flatten("f.json:", &v, &mut out);
+        assert_eq!(out.get("f.json:a"), Some(&1.0));
+        assert_eq!(out.get("f.json:b.c"), Some(&2.5));
+        assert_eq!(out.get("f.json:rows.0.x"), Some(&3.0));
+        assert_eq!(out.get("f.json:rows.1.x"), Some(&4.0));
+        assert_eq!(out.get("f.json:flag"), Some(&1.0));
+        assert_eq!(out.len(), 5, "{out:?}");
+    }
+
+    #[test]
+    fn identical_snapshots_pass_clean() {
+        let base = scratch_dir("clean-base");
+        let cand = scratch_dir("clean-cand");
+        let record = r#"{"throughput": 12.5, "rows": [{"ns": 100}]}"#;
+        write(&base, "BENCH_x.json", record);
+        write(&cand, "BENCH_x.json", record);
+        let b = load_dir(&base).expect("baseline loads");
+        let c = load_dir(&cand).expect("candidate loads");
+        let report = diff(&b, &c, 0.01);
+        assert_eq!(report.compared, 2);
+        assert!(report.regressions.is_empty(), "{}", report.render(10));
+        assert!(report.render(10).contains("no drift beyond threshold"));
+    }
+
+    #[test]
+    fn injected_regression_is_flagged_and_sorted_worst_first() {
+        let base = scratch_dir("reg-base");
+        let cand = scratch_dir("reg-cand");
+        write(
+            &base,
+            "BENCH_x.json",
+            r#"{"throughput": 10.0, "latency_ns": 100.0, "stable": 5.0}"#,
+        );
+        // throughput -40%, latency +11%, stable untouched.
+        write(
+            &cand,
+            "BENCH_x.json",
+            r#"{"throughput": 6.0, "latency_ns": 111.0, "stable": 5.0}"#,
+        );
+        let b = load_dir(&base).expect("baseline loads");
+        let c = load_dir(&cand).expect("candidate loads");
+        let report = diff(&b, &c, 0.10);
+        assert_eq!(report.compared, 3);
+        assert_eq!(report.regressions.len(), 2, "{}", report.render(10));
+        assert_eq!(report.regressions[0].key, "BENCH_x.json:throughput");
+        assert!((report.regressions[0].rel - -0.4).abs() < 1e-12);
+        assert_eq!(report.regressions[1].key, "BENCH_x.json:latency_ns");
+        // A looser threshold lets the small latency move through.
+        assert_eq!(diff(&b, &c, 0.20).regressions.len(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_and_missing_keys_are_handled() {
+        let base = scratch_dir("zero-base");
+        let cand = scratch_dir("zero-cand");
+        write(&base, "m.json", r#"{"was_zero": 0, "stays_zero": 0, "gone": 1}"#);
+        write(&cand, "m.json", r#"{"was_zero": 3, "stays_zero": 0, "added": 2}"#);
+        let b = load_dir(&base).expect("baseline loads");
+        let c = load_dir(&cand).expect("candidate loads");
+        let report = diff(&b, &c, 0.10);
+        // Only the shared keys are compared; zero -> non-zero always trips.
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key, "m.json:was_zero");
+        assert!(report.regressions[0].rel.is_infinite());
+        assert_eq!(report.only_baseline, vec!["m.json:gone".to_string()]);
+        assert_eq!(report.only_candidate, vec!["m.json:added".to_string()]);
+        let rendered = report.render(10);
+        assert!(rendered.contains("new-nonzero"), "{rendered}");
+        assert!(rendered.contains("only in baseline: 1"), "{rendered}");
+    }
+
+    #[test]
+    fn options_parse_flags_and_reject_garbage() {
+        let ok = Options::parse(&[
+            "a".into(),
+            "b".into(),
+            "--threshold".into(),
+            "0.25".into(),
+            "--warn-only".into(),
+        ])
+        .expect("parses");
+        assert_eq!(ok.baseline, "a");
+        assert_eq!(ok.candidate, "b");
+        assert!((ok.threshold - 0.25).abs() < 1e-12);
+        assert!(ok.warn_only);
+        assert!(Options::parse(&["a".into()]).is_err());
+        assert!(Options::parse(&["a".into(), "b".into(), "--bogus".into()]).is_err());
+        assert!(Options::parse(&[
+            "a".into(),
+            "b".into(),
+            "--threshold".into(),
+            "nan".into()
+        ])
+        .is_err());
+    }
+}

@@ -15,7 +15,10 @@
 //! process via `set_sim_memo`, with the hit rate read back from the
 //! telemetry counters. The phase is a spot check as much as a benchmark: it
 //! exits non-zero if the repeated-geometry plan reports zero hits, which
-//! would mean the strategy key material regressed.
+//! would mean the strategy key material regressed. A final spot check pins
+//! `TelemetrySink::Disabled` as a strict no-op for the windowed time-series
+//! sampler (DESIGN.md §2.14) — the timed phases assume telemetry-off costs
+//! nothing.
 
 use std::time::Instant;
 
@@ -166,6 +169,24 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // Disabled-sink spot check (DESIGN.md §2.14): the timed phases above run
+    // with telemetry off and rely on the windowed sampler being a strict
+    // no-op — nothing recorded, nothing exported. A regression here would
+    // silently tax every simulation in this benchmark.
+    let disabled = TelemetrySink::Disabled;
+    disabled.ts_add_interval(0, tahoe::telemetry::timeseries::BUSY_NS, 0.0, 5e6, 5e6);
+    disabled.ts_gauge(0, tahoe::telemetry::timeseries::QUEUE_DEPTH, 0.0, 3.0);
+    disabled.record_latency_window(0.0, 1_000.0);
+    disabled.record_slo_window(0.0, true);
+    let export = disabled.timeseries();
+    if !export.series.is_empty()
+        || !export.latency_windows.is_empty()
+        || !export.slo_windows.is_empty()
+    {
+        eprintln!("[host_perf] FAIL: disabled sink recorded time-series samples");
+        std::process::exit(1);
+    }
+
     let memo_hit_rate = memo_hits as f64 / (memo_hits + memo_misses) as f64;
     println!(
         "[host_perf] memo hit rate {:.1}% ({memo_hits} hits / {memo_misses} misses), \

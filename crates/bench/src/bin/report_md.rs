@@ -355,6 +355,16 @@ fn main() {
         }
     }
 
+    // Windowed time-series samples (`--timeseries` or any telemetry flag).
+    if let Some(v) = fs::read_to_string(dir.join("timeseries.json"))
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        if let Some(section) = serving_over_time_section(&v) {
+            out.push_str(&section);
+        }
+    }
+
     if !missing.is_empty() {
         let _ = writeln!(out, "\n(missing records: {})", missing.join(", "));
     }
@@ -459,6 +469,86 @@ fn kernel_profiles_section(v: &Value) -> Option<String> {
     Some(out)
 }
 
+/// Digests `timeseries.json` (a serialized `TimeSeriesExport`) into the
+/// "Serving over time" section: peak queue depth, per-device busy-fraction
+/// utilization (mean and peak window), the worst windowed p99 latency, and
+/// windowed SLO attainment. Returns `None` when no series were sampled.
+fn serving_over_time_section(v: &Value) -> Option<String> {
+    let window_ns = v["window_ns"].as_f64().filter(|&w| w > 0.0)?;
+    let series = v["series"].as_array()?;
+    if series.is_empty() {
+        return None;
+    }
+    let points_of = |s: &Value| s["points"].as_array().cloned().unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## Serving over time ({:.3} ms windows)", window_ns / 1e6);
+
+    let queue_peak = series
+        .iter()
+        .filter(|s| s["name"].as_str() == Some("queue_depth"))
+        .flat_map(|s| points_of(s).into_iter().filter_map(|p| p["value"].as_f64()))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if queue_peak.is_finite() {
+        let _ = writeln!(out, "- peak queue depth: {queue_peak:.0} requests");
+    }
+
+    for s in series.iter().filter(|s| s["name"].as_str() == Some("busy_ns")) {
+        let busy: Vec<f64> = points_of(s)
+            .into_iter()
+            .filter_map(|p| p["value"].as_f64())
+            .collect();
+        if busy.is_empty() {
+            continue;
+        }
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64 / window_ns;
+        let peak = busy.iter().copied().fold(0.0f64, f64::max) / window_ns;
+        let _ = writeln!(
+            out,
+            "- device {} utilization: mean {:.1}%, peak window {:.1}% over {} windows",
+            s["device"],
+            100.0 * mean,
+            100.0 * peak,
+            busy.len(),
+        );
+    }
+
+    let latency = v["latency_windows"].as_array().cloned().unwrap_or_default();
+    let worst = latency
+        .iter()
+        .filter_map(|w| Some((w["p99_ns"].as_f64()?, w["window"].as_u64()?)))
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some((p99, window)) = worst {
+        let requests: u64 = latency.iter().filter_map(|w| w["count"].as_u64()).sum();
+        let _ = writeln!(
+            out,
+            "- windowed latency: worst p99 <= {:.1} us (window {window}); {requests} requests over {} windows",
+            p99 / 1e3,
+            latency.len(),
+        );
+    }
+
+    let slo = v["slo_windows"].as_array().cloned().unwrap_or_default();
+    let (total, met) = slo.iter().fold((0u64, 0u64), |(t, m), w| {
+        (
+            t + w["total"].as_u64().unwrap_or(0),
+            m + w["met"].as_u64().unwrap_or(0),
+        )
+    });
+    if total > 0 {
+        let floor = slo
+            .iter()
+            .filter_map(|w| w["attainment"].as_f64())
+            .fold(f64::INFINITY, f64::min);
+        let _ = writeln!(
+            out,
+            "- SLO attainment: {:.2}% overall, worst window {:.2}%",
+            100.0 * met as f64 / total as f64,
+            100.0 * floor,
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,5 +614,59 @@ mod tests {
         assert!(kernel_profiles_section(&v).is_none());
         let v: Value = serde_json::from_str(r"{}").expect("parses");
         assert!(kernel_profiles_section(&v).is_none());
+    }
+
+    #[test]
+    fn serving_over_time_digests_queue_utilization_and_slo() {
+        let v: Value = serde_json::from_str(
+            r#"{
+              "window_ns": 1000000,
+              "series": [
+                {"device": 0, "name": "busy_ns", "kind": "sum", "points": [
+                  {"window": 0, "start_ns": 0, "value": 250000.0},
+                  {"window": 1, "start_ns": 1000000, "value": 750000.0}]},
+                {"device": 0, "name": "queue_depth", "kind": "gauge", "points": [
+                  {"window": 0, "start_ns": 0, "value": 3.0},
+                  {"window": 1, "start_ns": 1000000, "value": 7.0}]}
+              ],
+              "latency_windows": [
+                {"window": 0, "start_ns": 0, "count": 10, "mean_ns": 1000.0,
+                 "p50_ns": 1024, "p95_ns": 2048, "p99_ns": 2048, "max_ns": 2000.0},
+                {"window": 1, "start_ns": 1000000, "count": 30, "mean_ns": 2000.0,
+                 "p50_ns": 2048, "p95_ns": 4096, "p99_ns": 8192, "max_ns": 8000.0}
+              ],
+              "slo_windows": [
+                {"window": 0, "start_ns": 0, "total": 10, "met": 10, "attainment": 1.0},
+                {"window": 1, "start_ns": 1000000, "total": 30, "met": 15, "attainment": 0.5}
+              ]
+            }"#,
+        )
+        .expect("fixture parses");
+        let section = serving_over_time_section(&v).expect("non-empty digest");
+        // busy: (0.25 + 0.75)/2 = 50% mean, 75% peak; queue peak 7;
+        // worst p99 is window 1; SLO 25/40 = 62.5% overall, floor 50%.
+        assert!(section.contains("## Serving over time (1.000 ms windows)"), "{section}");
+        assert!(section.contains("peak queue depth: 7 requests"), "{section}");
+        assert!(
+            section.contains("device 0 utilization: mean 50.0%, peak window 75.0% over 2 windows"),
+            "{section}"
+        );
+        assert!(
+            section.contains("worst p99 <= 8.2 us (window 1); 40 requests over 2 windows"),
+            "{section}"
+        );
+        assert!(
+            section.contains("SLO attainment: 62.50% overall, worst window 50.00%"),
+            "{section}"
+        );
+    }
+
+    #[test]
+    fn serving_over_time_is_none_without_series() {
+        let v: Value =
+            serde_json::from_str(r#"{"window_ns": 1000000, "series": []}"#).expect("parses");
+        assert!(serving_over_time_section(&v).is_none());
+        let v: Value = serde_json::from_str(r"{}").expect("parses");
+        assert!(serving_over_time_section(&v).is_none());
     }
 }

@@ -19,8 +19,12 @@ pub struct Env {
     pub metrics: Option<PathBuf>,
     /// Per-kernel profiler JSON output (`--profile <path>`); `None` = off.
     pub profile: Option<PathBuf>,
-    /// Telemetry sink for the run: recording iff `--trace`, `--metrics`, or
-    /// `--profile` was given, otherwise disabled (zero overhead).
+    /// Windowed time-series JSON output (`--timeseries <path>`);
+    /// `None` = off.
+    pub timeseries: Option<PathBuf>,
+    /// Telemetry sink for the run: recording iff `--trace`, `--metrics`,
+    /// `--profile`, or `--timeseries` was given, otherwise disabled (zero
+    /// overhead).
     pub sink: TelemetrySink,
 }
 
@@ -32,6 +36,7 @@ impl Default for Env {
             trace: None,
             metrics: None,
             profile: None,
+            timeseries: None,
             sink: TelemetrySink::Disabled,
         }
     }
@@ -87,11 +92,20 @@ impl Env {
                     let v = it.next().unwrap_or_else(|| usage("missing value for --profile"));
                     env.profile = Some(PathBuf::from(v));
                 }
+                "--timeseries" => {
+                    let v =
+                        it.next().unwrap_or_else(|| usage("missing value for --timeseries"));
+                    env.timeseries = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
-        if env.trace.is_some() || env.metrics.is_some() || env.profile.is_some() {
+        if env.trace.is_some()
+            || env.metrics.is_some()
+            || env.profile.is_some()
+            || env.timeseries.is_some()
+        {
             env.sink = TelemetrySink::recording();
         }
         env
@@ -99,9 +113,10 @@ impl Env {
 
     /// Writes the requested telemetry exports: the Chrome trace to `--trace`,
     /// the metrics snapshot to `--metrics`, the per-kernel profiles to
-    /// `--profile`, and (when recording) `telemetry_metrics` +
-    /// `kernel_profiles` result JSONs for `report_md`. No-op when no
-    /// telemetry flag was given.
+    /// `--profile`, the windowed time series to `--timeseries`, and (when
+    /// recording) `telemetry_metrics` + `kernel_profiles` + `timeseries`
+    /// result JSONs for `report_md`. No-op when no telemetry flag was
+    /// given.
     ///
     /// # Panics
     ///
@@ -122,9 +137,15 @@ impl Env {
                 .unwrap_or_else(|e| panic!("cannot write profiles {}: {e}", path.display()));
             eprintln!("wrote kernel profiles to {}", path.display());
         }
+        if let Some(path) = &self.timeseries {
+            std::fs::write(path, self.sink.timeseries_json())
+                .unwrap_or_else(|e| panic!("cannot write timeseries {}: {e}", path.display()));
+            eprintln!("wrote time series to {}", path.display());
+        }
         if self.sink.is_enabled() {
             crate::report::write_json("telemetry_metrics", &self.sink.snapshot());
             crate::report::write_json("kernel_profiles", &self.sink.profiles());
+            crate::report::write_json("timeseries", &self.sink.timeseries());
         }
     }
 }
@@ -133,7 +154,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: <experiment> [--scale paper|ci|smoke] [--detail N|full] \
-         [--trace <path>] [--metrics <path>] [--profile <path>]"
+         [--trace <path>] [--metrics <path>] [--profile <path>] \
+         [--timeseries <path>]"
     );
     std::process::exit(2)
 }
@@ -173,6 +195,12 @@ mod tests {
         assert!(e.sink.is_enabled());
         let e = parse(&["--profile", "/tmp/p.json"]);
         assert_eq!(e.profile.as_deref(), Some(std::path::Path::new("/tmp/p.json")));
+        assert!(e.sink.is_enabled());
+        let e = parse(&["--timeseries", "/tmp/ts.json"]);
+        assert_eq!(
+            e.timeseries.as_deref(),
+            Some(std::path::Path::new("/tmp/ts.json"))
+        );
         assert!(e.sink.is_enabled());
     }
 }

@@ -413,7 +413,7 @@ impl<'d> KernelSim<'d> {
                 warp_size: device.warp_size,
                 memo,
             });
-            tr.sink.push_kernel_profile(KernelProfile::from_launch(&LaunchStats {
+            let profile = KernelProfile::from_launch(&LaunchStats {
                 device,
                 label: &tr.label,
                 grid_blocks,
@@ -435,7 +435,40 @@ impl<'d> KernelSim<'d> {
                 global_reduction_ns,
                 streamed_serial_ns: sum_streamed,
                 total_serial_ns: sum_serial,
-            }));
+            });
+            // Windowed samples, still on the caller thread after the
+            // plan-order merge (DESIGN.md §2.14): busy time and fetched
+            // bytes apportioned over the launch's simulated-clock interval,
+            // the roofline as a gauge at launch start, and the launch's memo
+            // accounting (the one series pair allowed to differ across
+            // `TAHOE_SIM_MEMO` settings).
+            let total_ns = scheduled + global_reduction_ns;
+            let sink = &tr.sink;
+            sink.ts_add_interval(
+                0,
+                crate::timeseries::BUSY_NS,
+                tr.t0_ns,
+                tr.t0_ns + total_ns,
+                total_ns,
+            );
+            sink.ts_add_interval(
+                0,
+                crate::timeseries::GMEM_FETCHED_BYTES,
+                tr.t0_ns,
+                tr.t0_ns + total_ns,
+                gmem_total.fetched_bytes as f64,
+            );
+            sink.ts_gauge(
+                0,
+                crate::timeseries::ROOFLINE_UTILIZATION,
+                tr.t0_ns,
+                profile.roofline_utilization,
+            );
+            if memo.hits + memo.misses > 0 {
+                sink.ts_add(0, crate::timeseries::MEMO_HITS, tr.t0_ns, memo.hits as f64);
+                sink.ts_add(0, crate::timeseries::MEMO_MISSES, tr.t0_ns, memo.misses as f64);
+            }
+            sink.push_kernel_profile(profile);
         }
         KernelResult {
             grid_blocks,

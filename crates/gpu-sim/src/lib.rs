@@ -32,6 +32,8 @@
 //!   trace / metrics-snapshot export (zero-cost when disabled).
 //! - [`profile`] — per-kernel Nsight-style reports, latency histograms,
 //!   and model-vs-simulator drift records layered on the telemetry sink.
+//! - [`timeseries`] — windowed time-series sampler: counter deltas, gauges,
+//!   and per-window latency percentiles on fixed simulated-clock windows.
 //!
 //! # Examples
 //!
@@ -72,6 +74,7 @@ pub mod parallel;
 pub mod profile;
 pub mod reduction;
 pub mod telemetry;
+pub mod timeseries;
 pub mod warp;
 
 pub use block::{BlockResult, BlockSim};
@@ -87,4 +90,8 @@ pub use profile::{
     ProfilesExport, TimeBreakdown,
 };
 pub use telemetry::{Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink};
+pub use timeseries::{
+    LatencyWindowExport, SeriesExport, SeriesPoint, SloWindowExport, TimeSeriesExport,
+    DEFAULT_WINDOW_NS,
+};
 pub use warp::{LevelStats, WarpResult, WarpSim, MAX_WARP_LANES};

@@ -332,6 +332,9 @@ pub struct SinkInner {
     /// Per-kernel profiles, latency histograms, and drift records; the
     /// recording methods live in [`crate::profile`].
     pub(crate) profiles: Mutex<crate::profile::ProfileStore>,
+    /// Windowed time-series samples; the recording methods live in
+    /// [`crate::timeseries`].
+    pub(crate) timeseries: Mutex<crate::timeseries::TimeSeriesStore>,
 }
 
 /// Telemetry recording handle.
@@ -488,6 +491,11 @@ impl TelemetrySink {
         }
         let store = std::mem::take(&mut *src.profiles.lock());
         dst.profiles.lock().merge_from(store);
+        // Time-series samples re-tag from the device-local index 0 to the
+        // cluster-wide device index; window widths agree because the cluster
+        // propagates its window to device sinks at construction.
+        let ts = std::mem::take(&mut *src.timeseries.lock());
+        dst.timeseries.lock().merge_from(ts, device_idx);
     }
 
     /// Flat snapshot of the recorded counters (empty when disabled).
@@ -525,8 +533,16 @@ impl TelemetrySink {
     /// monotone per track and enclosing spans precede enclosed ones; the
     /// output is a pure function of the recorded spans and therefore
     /// byte-identical however many worker threads simulated the blocks.
+    ///
+    /// Recorded time series additionally export as Perfetto counter tracks
+    /// (`"ph":"C"` events, one per non-empty window) after the spans, in
+    /// the export's `(device, name, kind)` order. The `memo_*` series are
+    /// excluded — they are the one thing `TAHOE_SIM_MEMO` is allowed to
+    /// change, and the trace must stay byte-identical across memo settings
+    /// (`tests/determinism.rs`).
     #[must_use]
     pub fn chrome_trace_json(&self) -> String {
+        let timeseries = self.timeseries();
         let (mut spans, names) = match self {
             TelemetrySink::Disabled => (Vec::new(), BTreeMap::new()),
             TelemetrySink::Recording(inner) => {
@@ -566,6 +582,24 @@ impl TelemetrySink {
                 ("tid".into(), uint(u64::from(s.tid))),
                 ("name".into(), str_val(&s.name)),
             ]));
+        }
+        for series in &timeseries.series {
+            if crate::timeseries::is_memo_series(&series.name) {
+                continue;
+            }
+            for p in &series.points {
+                events.push(Value::Object(vec![
+                    ("ph".into(), str_val("C")),
+                    ("ts".into(), num(p.start_ns as f64 / 1_000.0)),
+                    ("pid".into(), uint(u64::from(device_pid(PID_GPU, series.device as usize)))),
+                    ("tid".into(), uint(0)),
+                    ("name".into(), str_val(&series.name)),
+                    (
+                        "args".into(),
+                        Value::Object(vec![("value".into(), num(p.value))]),
+                    ),
+                ]));
+            }
         }
         let doc = Value::Object(vec![
             ("traceEvents".into(), Value::Array(events)),
@@ -679,6 +713,29 @@ mod tests {
         assert_eq!(spans[2]["name"].as_str(), Some("child"));
         // Timestamps are microseconds.
         assert!((spans[1]["ts"].as_f64().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_tracks_but_never_memo_series() {
+        let sink = TelemetrySink::recording();
+        sink.ts_gauge(0, crate::timeseries::QUEUE_DEPTH, 10.0, 3.0);
+        sink.ts_gauge(1, crate::timeseries::QUEUE_DEPTH, 10.0, 4.0);
+        sink.ts_add(0, crate::timeseries::MEMO_HITS, 10.0, 7.0);
+        let text = sink.chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let counters: Vec<&serde_json::Value> =
+            events.iter().filter(|e| e["ph"].as_str() == Some("C")).collect();
+        assert_eq!(counters.len(), 2, "memo series must be excluded");
+        assert_eq!(counters[0]["name"].as_str(), Some("queue_depth"));
+        assert_eq!(counters[0]["pid"].as_u64(), Some(u64::from(PID_GPU)));
+        assert_eq!(counters[0]["args"]["value"].as_f64(), Some(3.0));
+        // Device 1's series lands in its own pid group.
+        assert_eq!(
+            counters[1]["pid"].as_u64(),
+            Some(u64::from(device_pid(PID_GPU, 1)))
+        );
+        assert!(!text.contains("memo_hits"));
     }
 
     #[test]

@@ -136,7 +136,12 @@ impl GpuCluster {
         let mut device_sinks = Vec::with_capacity(devices.len());
         for (d, spec) in devices.into_iter().enumerate() {
             let dsink = if sink.is_enabled() {
-                TelemetrySink::recording()
+                let dsink = TelemetrySink::recording();
+                // Device sinks must bucket time-series samples with the
+                // cluster's window so the flush-time merge folds windows
+                // one-to-one (DESIGN.md §2.14).
+                dsink.set_timeseries_window_ns(sink.timeseries_window_ns());
+                dsink
             } else {
                 TelemetrySink::Disabled
             };

@@ -23,7 +23,7 @@ use crate::profile::DriftRecord;
 use crate::rearrange::{self, RearrangeReport, SimilarityParams};
 use crate::strategy::common::THREADS_PER_BLOCK;
 use crate::strategy::{self, LaunchContext, Strategy, StrategyRun};
-use crate::telemetry::{Counter, TelemetryCtx, TelemetrySink, PID_ENGINE};
+use crate::telemetry::{timeseries, Counter, TelemetryCtx, TelemetrySink, PID_ENGINE};
 use crate::tune;
 
 /// How the engine picks the device-node encoding (DESIGN.md §2.13).
@@ -482,6 +482,21 @@ impl Engine {
                 per_sample.total() * samples.n_samples() as f64,
                 run.kernel.total_ns,
             ));
+            // DRAM footprint gauges at the batch's simulated completion time
+            // (DESIGN.md §2.14), still on the caller thread.
+            let done_ns = self.clock_ns + run.kernel.total_ns;
+            self.sink.ts_gauge(
+                0,
+                timeseries::MEM_IN_USE_BYTES,
+                done_ns,
+                self.mem.in_use_bytes() as f64,
+            );
+            self.sink.ts_gauge(
+                0,
+                timeseries::MEM_HIGH_WATER_BYTES,
+                done_ns,
+                self.mem.high_water_bytes() as f64,
+            );
         }
         self.clock_ns += run.kernel.total_ns;
         let predictions = if self.options.functional {

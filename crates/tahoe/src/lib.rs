@@ -62,4 +62,5 @@ pub use perfmodel::{ModelInputs, Prediction};
 pub use profile::{DriftRecord, KernelProfile, ProfilesExport};
 pub use rearrange::{adaptive_plan, similarity_order, SimilarityParams};
 pub use strategy::{LaunchContext, Strategy, StrategyRun};
+pub use telemetry::timeseries::TimeSeriesExport;
 pub use telemetry::{Counter, MetricsSnapshot, TelemetryCtx, TelemetrySink};

@@ -19,7 +19,7 @@ use tahoe_datasets::SampleMatrix;
 use crate::cluster::GpuCluster;
 use crate::engine::Engine;
 use crate::strategy::Strategy;
-use crate::telemetry::{Counter, TelemetrySink, PID_SERVING};
+use crate::telemetry::{timeseries, Counter, TelemetrySink, PID_SERVING};
 
 /// Dynamic-batching policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -109,6 +109,9 @@ pub struct ServingReport {
     pub makespan_ns: f64,
     /// High-water simulated device-memory footprint over the trace (bytes).
     pub mem_high_water_bytes: u64,
+    /// Per-request latency deadline the trace was replayed with (`None`
+    /// when the caller did not tag requests with an SLO).
+    pub deadline_ns: Option<f64>,
     /// Lazily sorted copy of `latencies_ns` backing the percentile queries
     /// (sorted once on first use instead of on every call). Mutating
     /// `latencies_ns` after a percentile query would go unnoticed — build a
@@ -130,8 +133,29 @@ impl ServingReport {
             latencies_ns,
             makespan_ns,
             mem_high_water_bytes,
+            deadline_ns: None,
             sorted_latencies: OnceLock::new(),
         }
+    }
+
+    /// Tags the report with the deadline its trace was replayed under,
+    /// enabling [`ServingReport::slo_attainment`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_ns: Option<f64>) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// Fraction of requests that met the deadline (`None` when the trace
+    /// was replayed without one; 1.0 for an empty trace).
+    #[must_use]
+    pub fn slo_attainment(&self) -> Option<f64> {
+        let deadline = self.deadline_ns?;
+        if self.latencies_ns.is_empty() {
+            return Some(1.0);
+        }
+        let met = self.latencies_ns.iter().filter(|&&l| l <= deadline).count();
+        Some(met as f64 / self.latencies_ns.len() as f64)
     }
 
     /// Requests served.
@@ -274,6 +298,45 @@ fn batch_spans(
     );
 }
 
+/// Emits one dispatched batch's windowed time-series samples into `sink`
+/// (DESIGN.md §2.14): the dispatch delta, queue-wait time past the policy's
+/// ready instant, and the device's inflight gauge over the batch's
+/// execution interval. Series carry the device-local index 0; the cluster
+/// absorb re-tags them. Caller thread only — workers never touch the
+/// sampler. Queue depth is a queue-level (not device-level) statistic, so
+/// the dispatchers record it separately.
+fn batch_timeseries(sink: &TelemetrySink, record: &BatchRecord, ready_at: f64) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let dispatch_at = record.dispatched_at_ns;
+    sink.ts_add(0, timeseries::DISPATCHED_BATCHES, dispatch_at, 1.0);
+    sink.ts_add(0, timeseries::QUEUE_WAIT_NS, dispatch_at, dispatch_at - ready_at);
+    sink.ts_gauge(0, timeseries::INFLIGHT_BATCHES, dispatch_at, 1.0);
+    sink.ts_gauge(0, timeseries::INFLIGHT_BATCHES, dispatch_at + record.gpu_ns, 0.0);
+}
+
+/// Records one batch's per-request latency windows (and, with a deadline,
+/// SLO outcomes) into `sink`, keyed by the requests' shared completion time.
+fn request_windows(
+    sink: &TelemetrySink,
+    latencies: &[f64],
+    first: usize,
+    last: usize,
+    finished_at: f64,
+    deadline_ns: Option<f64>,
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    for &lat in &latencies[first..last] {
+        sink.record_latency_window(finished_at, lat);
+        if let Some(deadline) = deadline_ns {
+            sink.record_slo_window(finished_at, lat <= deadline);
+        }
+    }
+}
+
 /// Serving simulator: a request trace, a policy, and an engine.
 pub struct ServingSim<'e> {
     engine: &'e mut Engine,
@@ -301,6 +364,25 @@ impl<'e> ServingSim<'e> {
         samples: &SampleMatrix,
         n_requests: usize,
         interarrival_ns: f64,
+    ) -> ServingReport {
+        self.run_uniform_trace_with_deadline(samples, n_requests, interarrival_ns, None)
+    }
+
+    /// [`ServingSim::run_uniform_trace`] with every request tagged with a
+    /// latency deadline: the report gains [`ServingReport::slo_attainment`]
+    /// and the time-series export gains per-window SLO windows. The replay
+    /// arithmetic is identical — a deadline only adds observability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample matrix is empty or `n_requests == 0`.
+    #[must_use]
+    pub fn run_uniform_trace_with_deadline(
+        &mut self,
+        samples: &SampleMatrix,
+        n_requests: usize,
+        interarrival_ns: f64,
+        deadline_ns: Option<f64>,
     ) -> ServingReport {
         assert!(samples.n_samples() > 0, "need request payloads");
         assert!(n_requests > 0, "need at least one request");
@@ -346,6 +428,13 @@ impl<'e> ServingSim<'e> {
                 mem_in_use_bytes: result.mem_in_use_bytes,
             };
             batch_spans(&sink, batches.len(), &record, first_arrival, ready_at);
+            batch_timeseries(&sink, &record, ready_at);
+            sink.ts_gauge(
+                0,
+                timeseries::QUEUE_DEPTH,
+                dispatch_at,
+                (last_arrived + 1 - last) as f64,
+            );
             for (i, lat) in latencies
                 .iter_mut()
                 .enumerate()
@@ -355,6 +444,7 @@ impl<'e> ServingSim<'e> {
                 let arrival = i as f64 * interarrival_ns;
                 *lat = finished_at - arrival;
             }
+            request_windows(&sink, &latencies, first, last, finished_at, deadline_ns);
             batches.push(record);
             gpu_free_at = finished_at;
             next_request = last;
@@ -370,6 +460,7 @@ impl<'e> ServingSim<'e> {
             gpu_free_at,
             self.engine.memory().high_water_bytes(),
         )
+        .with_deadline(deadline_ns)
     }
 }
 
@@ -442,6 +533,28 @@ impl<'c> ClusterServingSim<'c> {
         n_requests: usize,
         interarrival_ns: f64,
     ) -> ClusterServingReport {
+        self.run_uniform_trace_with_deadline(samples, n_requests, interarrival_ns, None)
+    }
+
+    /// [`ClusterServingSim::run_uniform_trace`] with every request tagged
+    /// with a latency deadline (the cluster analogue of
+    /// [`ServingSim::run_uniform_trace_with_deadline`]). Latency and SLO
+    /// windows are cluster-level statistics recorded into the cluster sink;
+    /// per-device series land in each device's private sink and are
+    /// absorbed in device-index order by the flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample matrix is empty, `n_requests == 0`, or the
+    /// policy fails validation.
+    #[must_use]
+    pub fn run_uniform_trace_with_deadline(
+        &mut self,
+        samples: &SampleMatrix,
+        n_requests: usize,
+        interarrival_ns: f64,
+        deadline_ns: Option<f64>,
+    ) -> ClusterServingReport {
         assert!(samples.n_samples() > 0, "need request payloads");
         assert!(n_requests > 0, "need at least one request");
         self.policy.validate();
@@ -493,10 +606,25 @@ impl<'c> ClusterServingSim<'c> {
                 mem_in_use_bytes: result.mem_in_use_bytes,
             };
             batch_spans(dsink, batches.len(), &record, first_arrival, ready_at);
+            batch_timeseries(dsink, &record, ready_at);
+            self.cluster.telemetry().ts_gauge(
+                0,
+                timeseries::QUEUE_DEPTH,
+                dispatch_at,
+                (last_arrived + 1 - last) as f64,
+            );
             for (i, lat) in latencies.iter_mut().enumerate().take(last).skip(first) {
                 let arrival = i as f64 * interarrival_ns;
                 *lat = finished_at - arrival;
             }
+            request_windows(
+                self.cluster.telemetry(),
+                &latencies,
+                first,
+                last,
+                finished_at,
+                deadline_ns,
+            );
             batches.push(record);
             batch_devices.push(dev);
             dev_batches[dev] += 1;
@@ -527,7 +655,8 @@ impl<'c> ClusterServingSim<'c> {
             .map(|d| self.cluster.engine(d).memory().high_water_bytes())
             .sum();
         ClusterServingReport {
-            report: ServingReport::new(batches, latencies, makespan_ns, mem_high_water_bytes),
+            report: ServingReport::new(batches, latencies, makespan_ns, mem_high_water_bytes)
+                .with_deadline(deadline_ns),
             batch_devices,
             per_device,
         }

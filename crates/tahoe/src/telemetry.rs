@@ -9,6 +9,9 @@ pub use tahoe_gpu_sim::telemetry::{
     device_pid, Counter, CounterRegistry, MetricsSnapshot, SpanEvent, TelemetrySink,
     PID_DEVICE_STRIDE, PID_ENGINE, PID_GPU, PID_SERVING,
 };
+/// Windowed time-series sampler (series constants, export types, and the
+/// sink's `ts_*` recording methods) — see DESIGN.md §2.14.
+pub use tahoe_gpu_sim::timeseries;
 
 /// A disabled sink with `'static` lifetime, so contexts without telemetry
 /// can borrow one without owning a sink.

@@ -15,7 +15,8 @@ cargo test --workspace --release
 # cross-product. The determinism suite also pins the telemetry exports
 # (Chrome trace, metrics snapshot, kernel profiles) byte-for-byte across
 # worker counts; telemetry_schema keeps the trace loadable by Perfetto,
-# profile_schema pins the profiler payload, and drift_audit bounds
+# profile_schema pins the profiler payload, timeseries_schema pins the
+# windowed sampler (DESIGN.md §2.14), and drift_audit bounds
 # model-vs-simulator error. property_based rides along so the functional
 # equivalence proofs (every format/plan/strategy, classic and packed node
 # encodings, vs the CPU reference) hold in every cell too.
@@ -23,7 +24,8 @@ for workers in 1 4; do
     for memo in 0 1; do
         TAHOE_SIM_THREADS=$workers TAHOE_SIM_MEMO=$memo \
             cargo test --release --test determinism --test telemetry_schema \
-            --test profile_schema --test drift_audit --test property_based
+            --test profile_schema --test timeseries_schema \
+            --test drift_audit --test property_based
     done
 done
 
@@ -71,12 +73,27 @@ cargo run --release --bin tahoe-cli -- train \
     --data letter --scale smoke --model "$FIG9_W1/model.json"
 TAHOE_SIM_THREADS=1 cargo run --release --bin tahoe-cli -- serve \
     --data letter --scale smoke --model "$FIG9_W1/model.json" \
-    --devices k80,p100,v100 --requests 200 --interarrival 50 \
-    --trace "$FIG9_W1/serve_trace.json" --metrics "$FIG9_W1/serve_metrics.json"
+    --devices k80,p100,v100 --requests 200 --interarrival 50 --slo-ns 500000 \
+    --trace "$FIG9_W1/serve_trace.json" --metrics "$FIG9_W1/serve_metrics.json" \
+    --timeseries "$FIG9_W1/serve_timeseries.json"
 TAHOE_SIM_THREADS=4 cargo run --release --bin tahoe-cli -- serve \
     --data letter --scale smoke --model "$FIG9_W1/model.json" \
-    --devices k80,p100,v100 --requests 200 --interarrival 50 \
-    --trace "$FIG9_W4/serve_trace.json" --metrics "$FIG9_W4/serve_metrics.json"
+    --devices k80,p100,v100 --requests 200 --interarrival 50 --slo-ns 500000 \
+    --trace "$FIG9_W4/serve_trace.json" --metrics "$FIG9_W4/serve_metrics.json" \
+    --timeseries "$FIG9_W4/serve_timeseries.json"
 cmp "$FIG9_W1/serve_trace.json" "$FIG9_W4/serve_trace.json"
 cmp "$FIG9_W1/serve_metrics.json" "$FIG9_W4/serve_metrics.json"
+# Windowed time-series exports obey the same byte-identity guarantee
+# (DESIGN.md §2.14), SLO windows included.
+cmp "$FIG9_W1/serve_timeseries.json" "$FIG9_W4/serve_timeseries.json"
+grep -q '"slo_windows"' "$FIG9_W1/serve_timeseries.json"
 rm -rf "$FIG9_W1" "$FIG9_W4"
+
+# Bench regression gate, advisory: diff the committed results/ baseline
+# against itself so the gate's plumbing is exercised on every verify run (a
+# self-diff of deterministic metrics must report zero drift). --warn-only
+# keeps it non-blocking for snapshots refreshed on other hosts.
+if [ -d results ]; then
+    cargo run --release -p tahoe-bench --bin bench_diff -- \
+        results results --warn-only
+fi

@@ -103,6 +103,10 @@ common flags:
   --profile <file.json>    infer/bench: write per-kernel profiles, latency
                            histograms, and model-drift records;
                            profile: the export file to pretty-print
+  --timeseries <file.json> write windowed time-series samples (busy fraction,
+                           queue depth, DRAM, windowed p50/p95/p99, SLO)
+  --slo-ns NS              serve: per-request latency deadline; tags each
+                           request and reports windowed SLO attainment
   --top N                  profile: kernels to show, by simulated time (10)
 ";
 
@@ -129,6 +133,8 @@ struct Flags {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     profile: Option<PathBuf>,
+    timeseries: Option<PathBuf>,
+    slo_ns: Option<f64>,
     top: Option<usize>,
 }
 
@@ -156,6 +162,8 @@ impl Flags {
             trace: None,
             metrics: None,
             profile: None,
+            timeseries: None,
+            slo_ns: None,
             top: None,
         };
         let mut it = args.iter();
@@ -208,6 +216,17 @@ impl Flags {
                 "--trace" => f.trace = Some(PathBuf::from(value()?)),
                 "--metrics" => f.metrics = Some(PathBuf::from(value()?)),
                 "--profile" => f.profile = Some(PathBuf::from(value()?)),
+                "--timeseries" => f.timeseries = Some(PathBuf::from(value()?)),
+                "--slo-ns" => {
+                    let v = value()?;
+                    let ns: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad number '{v}' for --slo-ns"))?;
+                    if !(ns.is_finite() && ns > 0.0) {
+                        return Err(format!("--slo-ns must be finite and > 0, got {v}"));
+                    }
+                    f.slo_ns = Some(ns);
+                }
                 "--top" => f.top = Some(parse_num(&value()?, "--top")?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -248,10 +267,14 @@ impl Flags {
         }
     }
 
-    /// Telemetry sink for the run: recording iff `--trace`, `--metrics`, or
-    /// `--profile` was given.
+    /// Telemetry sink for the run: recording iff `--trace`, `--metrics`,
+    /// `--profile`, or `--timeseries` was given.
     fn sink(&self) -> TelemetrySink {
-        if self.trace.is_some() || self.metrics.is_some() || self.profile.is_some() {
+        if self.trace.is_some()
+            || self.metrics.is_some()
+            || self.profile.is_some()
+            || self.timeseries.is_some()
+        {
             TelemetrySink::recording()
         } else {
             TelemetrySink::Disabled
@@ -274,6 +297,11 @@ impl Flags {
             std::fs::write(path, sink.profiles_json())
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
             println!("wrote kernel profiles to {}", path.display());
+        }
+        if let Some(path) = &self.timeseries {
+            std::fs::write(path, sink.timeseries_json())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote time-series samples to {}", path.display());
         }
         Ok(())
     }
@@ -521,8 +549,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let sink = flags.sink();
     let mut cluster =
         GpuCluster::with_telemetry(devices, &forest, EngineOptions::tahoe(), sink.clone());
-    let report = ClusterServingSim::new(&mut cluster, policy)
-        .run_uniform_trace(&payloads, n_requests, interarrival_ns);
+    let report = ClusterServingSim::new(&mut cluster, policy).run_uniform_trace_with_deadline(
+        &payloads,
+        n_requests,
+        interarrival_ns,
+        flags.slo_ns,
+    );
     let r = &report.report;
     println!(
         "served {} requests in {} batches over {} device(s)  makespan {:.1} us",
@@ -538,6 +570,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         r.latency_percentile_ns(0.50) / 1e3,
         r.latency_percentile_ns(0.99) / 1e3
     );
+    if let (Some(deadline), Some(attainment)) = (r.deadline_ns, r.slo_attainment()) {
+        println!(
+            "slo deadline {:.1} us  attainment {:.2}%",
+            deadline / 1e3,
+            100.0 * attainment
+        );
+    }
     println!(
         "{:<4} {:<12} {:>8} {:>9} {:>12} {:>8} {:>12}",
         "gpu", "device", "batches", "requests", "busy us", "util %", "mem high"

@@ -13,12 +13,13 @@
 //! exercise the environment-variable paths.
 //!
 //! Export identity is layered: Chrome traces are byte-identical across *all*
-//! four configurations (spans carry no memo information); metrics snapshots
-//! and kernel profiles are byte-identical across worker counts at a fixed
+//! four configurations (spans carry no memo information, and counter tracks
+//! skip the memo series); metrics snapshots, kernel profiles, and windowed
+//! time-series exports are byte-identical across worker counts at a fixed
 //! memo setting, and identical across memo settings once the memo accounting
-//! itself (`memo_hits` / `memo_misses` / `memo_bytes` / `memo_hit_rate`) is
-//! normalized out — that accounting is the one thing memoization is *allowed*
-//! to change.
+//! itself (`memo_hits` / `memo_misses` / `memo_bytes` / `memo_hit_rate`
+//! fields; the `memo_*` series) is normalized out — that accounting is the
+//! one thing memoization is *allowed* to change.
 
 use std::sync::Mutex;
 
@@ -121,6 +122,7 @@ struct ConfigRun {
     trace: String,
     metrics: String,
     profiles: String,
+    timeseries: String,
 }
 
 fn run_config(ctx: &LaunchContext<'_>, s: Strategy, memo: bool, workers: usize) -> ConfigRun {
@@ -139,6 +141,7 @@ fn run_config(ctx: &LaunchContext<'_>, s: Strategy, memo: bool, workers: usize) 
         trace: sink.chrome_trace_json(),
         metrics: sink.metrics_json(),
         profiles: sink.profiles_json(),
+        timeseries: sink.timeseries_json(),
     }
 }
 
@@ -172,6 +175,27 @@ fn zero_memo_fields(v: &mut Value) {
 fn normalized(json: &str) -> Value {
     let mut v: Value = serde_json::from_str(json).expect("telemetry export parses as JSON");
     zero_memo_fields(&mut v);
+    v
+}
+
+/// Strips the memo-named series (`memo_hits` / `memo_misses`) from a
+/// time-series export. A memo-off run records no memo series at all, so the
+/// cross-memo comparison removes the *whole* series rather than zeroing
+/// values — everything else (busy fractions, gmem bytes, gauges, latency and
+/// SLO windows) must match exactly (DESIGN.md §2.14).
+fn normalized_timeseries(json: &str) -> Value {
+    let mut v: Value = serde_json::from_str(json).expect("timeseries export parses as JSON");
+    if let Value::Object(entries) = &mut v {
+        for (key, val) in entries.iter_mut() {
+            if key == "series" {
+                if let Value::Array(items) = val {
+                    items.retain(|s| {
+                        !s["name"].as_str().is_some_and(|n| n.starts_with("memo_"))
+                    });
+                }
+            }
+        }
+    }
     v
 }
 
@@ -246,6 +270,7 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
                     // Same memo setting: full byte identity across workers.
                     assert_eq!(base.metrics, other.metrics, "{what}: metrics differ");
                     assert_eq!(base.profiles, other.profiles, "{what}: profiles differ");
+                    assert_eq!(base.timeseries, other.timeseries, "{what}: timeseries differ");
                 } else {
                     // Across memo settings only the memo accounting may move.
                     assert_eq!(
@@ -258,6 +283,11 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
                         normalized(&other.profiles),
                         "{what}: profiles differ beyond memo accounting"
                     );
+                    assert_eq!(
+                        normalized_timeseries(&base.timeseries),
+                        normalized_timeseries(&other.timeseries),
+                        "{what}: timeseries differ beyond the memo series"
+                    );
                 }
             }
             // Memo-on byte identity across worker counts, and the cache
@@ -269,6 +299,10 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
             assert_eq!(
                 configs[2].profiles, configs[3].profiles,
                 "{dataset}/{s}: memo-on profiles differ across worker counts"
+            );
+            assert_eq!(
+                configs[2].timeseries, configs[3].timeseries,
+                "{dataset}/{s}: memo-on timeseries differ across worker counts"
             );
             if let Some(run) = &configs[2].run {
                 let hits = counter(&configs[2].metrics, "memo_hits");
@@ -295,15 +329,16 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
     for memo in [false, true] {
         set_sim_memo(Some(memo));
         set_sim_threads(Some(1));
-        let (trace_seq, metrics_seq, profiles_seq) = cluster_serving_exports();
+        let seq = cluster_serving_exports();
         set_sim_threads(Some(4));
-        let (trace_par, metrics_par, profiles_par) = cluster_serving_exports();
+        let par = cluster_serving_exports();
         set_sim_threads(None);
         set_sim_memo(None);
-        assert_eq!(trace_seq, trace_par, "cluster memo={memo}: Chrome trace differs");
-        assert_eq!(metrics_seq, metrics_par, "cluster memo={memo}: metrics differ");
-        assert_eq!(profiles_seq, profiles_par, "cluster memo={memo}: profiles differ");
-        per_memo.push((trace_seq, metrics_seq, profiles_seq));
+        assert_eq!(seq.0, par.0, "cluster memo={memo}: Chrome trace differs");
+        assert_eq!(seq.1, par.1, "cluster memo={memo}: metrics differ");
+        assert_eq!(seq.2, par.2, "cluster memo={memo}: profiles differ");
+        assert_eq!(seq.3, par.3, "cluster memo={memo}: timeseries differ");
+        per_memo.push(seq);
     }
     assert_eq!(per_memo[0].0, per_memo[1].0, "cluster: Chrome trace differs across memo");
     assert_eq!(
@@ -316,12 +351,17 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
         normalized(&per_memo[1].2),
         "cluster: profiles differ beyond memo accounting"
     );
+    assert_eq!(
+        normalized_timeseries(&per_memo[0].3),
+        normalized_timeseries(&per_memo[1].3),
+        "cluster: timeseries differ beyond the memo series"
+    );
 }
 
 /// Exports from a heterogeneous multi-GPU serving trace, built under the
 /// current worker-count/memo overrides (caller sets them while holding
 /// [`OVERRIDE_LOCK`]).
-fn cluster_serving_exports() -> (String, String, String) {
+fn cluster_serving_exports() -> (String, String, String, String) {
     let fx = Fixture::trained("letter");
     let sink = TelemetrySink::recording();
     let devices = vec![
@@ -331,10 +371,17 @@ fn cluster_serving_exports() -> (String, String, String) {
     ];
     let mut cluster =
         GpuCluster::with_telemetry(devices, &fx.forest, EngineOptions::tahoe(), sink.clone());
+    // A deadline exercises the windowed SLO path; it adds observability only
+    // and must not perturb the replay (pinned by `tests/timeseries_schema.rs`).
     let report = ClusterServingSim::new(&mut cluster, BatchingPolicy::new(32, 10_000.0))
-        .run_uniform_trace(&fx.samples, 200, 50.0);
+        .run_uniform_trace_with_deadline(&fx.samples, 200, 50.0, Some(500_000.0));
     assert_eq!(report.report.n_requests(), 200);
-    (sink.chrome_trace_json(), sink.metrics_json(), sink.profiles_json())
+    (
+        sink.chrome_trace_json(),
+        sink.metrics_json(),
+        sink.profiles_json(),
+        sink.timeseries_json(),
+    )
 }
 
 /// End-to-end memo-key discrimination: a batch of 256 identical rows makes

@@ -40,6 +40,7 @@ fn chrome_trace_matches_the_golden_schema() {
     assert!(!events.is_empty(), "an engine run must produce events");
 
     let mut complete_events = 0usize;
+    let mut counter_events = 0usize;
     let mut last_start: std::collections::BTreeMap<(u64, u64), f64> =
         std::collections::BTreeMap::new();
     for e in events {
@@ -72,10 +73,27 @@ fn chrome_trace_matches_the_golden_schema() {
                 }
                 last_start.insert(key, ts);
             }
+            "C" => {
+                // Perfetto counter tracks from the windowed time-series
+                // sampler (DESIGN.md §2.14): a numeric value, never a memo
+                // series (those would break cross-memo trace identity).
+                counter_events += 1;
+                assert!(ts >= 0.0, "non-negative counter timestamp: {e:?}");
+                assert!(
+                    e["args"]["value"].as_f64().is_some(),
+                    "counter events carry a numeric value: {e:?}"
+                );
+                let name = e["name"].as_str().expect("checked above");
+                assert!(
+                    !name.starts_with("memo_"),
+                    "memo series leaked into the Chrome trace: {e:?}"
+                );
+            }
             other => panic!("unexpected event phase '{other}': {e:?}"),
         }
     }
     assert!(complete_events > 0, "at least one span event");
+    assert!(counter_events > 0, "kernel launches emit counter samples");
     assert!(
         !last_start.is_empty(),
         "span events cover at least one (pid, tid) track"

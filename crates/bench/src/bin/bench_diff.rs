@@ -8,10 +8,11 @@
 //! Every `*.json` record in each directory is flattened to its numeric
 //! leaves, keyed `file.json:dotted.path` (array elements by index). A metric
 //! present in both snapshots whose relative change exceeds the threshold is
-//! reported as drift; keys present on only one side are listed but never
-//! fail the run (experiments come and go between snapshots). Exit status is
-//! 1 when drift was found and `--warn-only` was not given, so the diff can
-//! gate CI while staying advisory during local iteration.
+//! reported as drift; keys present on only one side are each listed
+//! explicitly as warnings but never fail the run (experiments come and go
+//! between snapshots). Exit status is 1 only when drift was found and
+//! `--warn-only` was not given, so the diff can gate CI while staying
+//! advisory during local iteration.
 //!
 //! Direction is deliberately ignored: the harness cannot know whether a
 //! given counter is better high or low, so any move beyond the threshold is
@@ -250,21 +251,22 @@ impl DiffReport {
         if self.regressions.len() > top {
             let _ = writeln!(out, "  ... and {} more", self.regressions.len() - top);
         }
-        if !self.only_baseline.is_empty() {
-            let _ = writeln!(
-                out,
-                "metrics only in baseline: {} (first: {})",
-                self.only_baseline.len(),
-                self.only_baseline[0]
-            );
-        }
-        if !self.only_candidate.is_empty() {
-            let _ = writeln!(
-                out,
-                "metrics only in candidate: {} (first: {})",
-                self.only_candidate.len(),
-                self.only_candidate[0]
-            );
+        // One-sided keys are advisory: each is listed so a vanished or new
+        // metric is visible in the log, but none affect the exit status.
+        for (side, keys) in [
+            ("baseline", &self.only_baseline),
+            ("candidate", &self.only_candidate),
+        ] {
+            if keys.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "metrics only in {side}: {} (warnings, never fatal)", keys.len());
+            for key in keys.iter().take(top) {
+                let _ = writeln!(out, "  warning: only in {side}: {key}");
+            }
+            if keys.len() > top {
+                let _ = writeln!(out, "  ... and {} more", keys.len() - top);
+            }
         }
         if self.regressions.is_empty() {
             let _ = writeln!(out, "no drift beyond threshold");
@@ -372,6 +374,30 @@ mod tests {
         let rendered = report.render(10);
         assert!(rendered.contains("new-nonzero"), "{rendered}");
         assert!(rendered.contains("only in baseline: 1"), "{rendered}");
+        assert!(rendered.contains("warning: only in baseline: m.json:gone"), "{rendered}");
+        assert!(rendered.contains("warning: only in candidate: m.json:added"), "{rendered}");
+    }
+
+    #[test]
+    fn one_sided_keys_warn_but_never_regress() {
+        let base = scratch_dir("onesided-base");
+        let cand = scratch_dir("onesided-cand");
+        // The shared key is identical; everything else is one-sided.
+        write(&base, "m.json", r#"{"shared": 7, "old_a": 1, "old_b": 2}"#);
+        write(&cand, "m.json", r#"{"shared": 7, "new_a": 3}"#);
+        let b = load_dir(&base).expect("baseline loads");
+        let c = load_dir(&cand).expect("candidate loads");
+        let report = diff(&b, &c, 0.0);
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty(), "{}", report.render(10));
+        assert_eq!(report.only_baseline.len(), 2);
+        assert_eq!(report.only_candidate.len(), 1);
+        let rendered = report.render(1);
+        assert!(rendered.contains("no drift beyond threshold"), "{rendered}");
+        assert!(rendered.contains("warning: only in baseline: m.json:old_a"), "{rendered}");
+        // Listing is capped at --top per side with an explicit remainder.
+        assert!(rendered.contains("... and 1 more"), "{rendered}");
+        assert!(rendered.contains("warning: only in candidate: m.json:new_a"), "{rendered}");
     }
 
     #[test]

@@ -365,6 +365,16 @@ fn main() {
         }
     }
 
+    // Flight-recorder export (`--decisions` or any telemetry flag).
+    if let Some(v) = fs::read_to_string(dir.join("decision_audit.json"))
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        if let Some(section) = worst_p99_attribution_section(&v) {
+            out.push_str(&section);
+        }
+    }
+
     if !missing.is_empty() {
         let _ = writeln!(out, "\n(missing records: {})", missing.join(", "));
     }
@@ -549,6 +559,70 @@ fn serving_over_time_section(v: &Value) -> Option<String> {
     Some(out)
 }
 
+/// Digests `decision_audit.json` (a serialized `DecisionsExport`) into the
+/// "Worst-p99 request attribution" section: where the slowest 1% of serving
+/// requests spent their critical path (batch formation vs queueing vs kernel
+/// vs reduction), plus a tuning-drift summary over the recorded decisions.
+/// Returns `None` when no request paths were recorded.
+fn worst_p99_attribution_section(v: &Value) -> Option<String> {
+    let requests = v["requests"].as_array()?;
+    let mut rows: Vec<(f64, f64, f64, f64, f64)> = requests
+        .iter()
+        .filter_map(|r| {
+            Some((
+                r["total_ns"].as_f64()?,
+                r["form_ns"].as_f64()?,
+                r["queue_ns"].as_f64()?,
+                r["execute_ns"].as_f64()?,
+                r["reduction_ns"].as_f64()?,
+            ))
+        })
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let slow = &rows[..rows.len().div_ceil(100)];
+    let total: f64 = slow.iter().map(|r| r.0).sum();
+    let sum = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| slow.iter().map(f).sum::<f64>();
+    let share = |ns: f64| 100.0 * ns / total.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## Worst-p99 request attribution");
+    let _ = writeln!(
+        out,
+        "- slowest 1% of requests: {}/{}, threshold >= {:.1} us, mean total {:.1} us",
+        slow.len(),
+        rows.len(),
+        slow.last().map_or(0.0, |r| r.0) / 1e3,
+        total / slow.len() as f64 / 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "- breakdown: form {:.1}%, queue {:.1}%, kernel {:.1}%, reduction {:.1}%",
+        share(sum(|r| r.1)),
+        share(sum(|r| r.2)),
+        share(sum(|r| r.3 - r.4)),
+        share(sum(|r| r.4)),
+    );
+    let drift: Vec<f64> = v["decisions"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .filter_map(|d| d["relative_error"].as_f64())
+        .map(f64::abs)
+        .collect();
+    if !drift.is_empty() {
+        let _ = writeln!(
+            out,
+            "- tuning decisions: {} recorded, mean |drift| {:.1}%, max |drift| {:.1}%",
+            drift.len(),
+            100.0 * drift.iter().sum::<f64>() / drift.len() as f64,
+            100.0 * drift.iter().copied().fold(0.0f64, f64::max),
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +733,64 @@ mod tests {
             section.contains("SLO attainment: 62.50% overall, worst window 50.00%"),
             "{section}"
         );
+    }
+
+    #[test]
+    fn worst_p99_attribution_breaks_down_the_slowest_requests() {
+        let v: Value = serde_json::from_str(
+            r#"{
+              "decisions": [
+                {"device": 0, "batch": 0, "n_samples": 32, "forced": false,
+                 "chosen_strategy": "direct", "chosen_block_threads": 128,
+                 "predicted_ns": 110.0, "simulated_ns": 100.0,
+                 "relative_error": 0.1, "candidates": []},
+                {"device": 0, "batch": 1, "n_samples": 32, "forced": false,
+                 "chosen_strategy": "direct", "chosen_block_threads": 128,
+                 "predicted_ns": 80.0, "simulated_ns": 100.0,
+                 "relative_error": -0.2, "candidates": []}
+              ],
+              "requests": [
+                {"request": 0, "batch": 0, "device": 0, "arrival_ns": 0.0,
+                 "form_ns": 10000.0, "queue_ns": 10000.0, "execute_ns": 40000.0,
+                 "reduction_ns": 5000.0, "total_ns": 60000.0},
+                {"request": 1, "batch": 1, "device": 0, "arrival_ns": 50.0,
+                 "form_ns": 20000.0, "queue_ns": 30000.0, "execute_ns": 50000.0,
+                 "reduction_ns": 10000.0, "total_ns": 100000.0},
+                {"request": 2, "batch": 1, "device": 0, "arrival_ns": 100.0,
+                 "form_ns": 10000.0, "queue_ns": 20000.0, "execute_ns": 50000.0,
+                 "reduction_ns": 10000.0, "total_ns": 80000.0}
+              ]
+            }"#,
+        )
+        .expect("fixture parses");
+        let section = worst_p99_attribution_section(&v).expect("non-empty digest");
+        // ceil(3/100) = 1 slowest request: total 100 us with form 20, queue
+        // 30, execute 50 (of which reduction 10 -> kernel 40); drift |0.1|
+        // and |-0.2| -> mean 15%, max 20%.
+        assert!(section.contains("## Worst-p99 request attribution"), "{section}");
+        assert!(
+            section.contains(
+                "slowest 1% of requests: 1/3, threshold >= 100.0 us, mean total 100.0 us"
+            ),
+            "{section}"
+        );
+        assert!(
+            section.contains("breakdown: form 20.0%, queue 30.0%, kernel 40.0%, reduction 10.0%"),
+            "{section}"
+        );
+        assert!(
+            section.contains("tuning decisions: 2 recorded, mean |drift| 15.0%, max |drift| 20.0%"),
+            "{section}"
+        );
+    }
+
+    #[test]
+    fn worst_p99_attribution_is_none_without_requests() {
+        let v: Value =
+            serde_json::from_str(r#"{"decisions": [], "requests": []}"#).expect("parses");
+        assert!(worst_p99_attribution_section(&v).is_none());
+        let v: Value = serde_json::from_str(r"{}").expect("parses");
+        assert!(worst_p99_attribution_section(&v).is_none());
     }
 
     #[test]

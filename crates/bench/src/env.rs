@@ -22,9 +22,11 @@ pub struct Env {
     /// Windowed time-series JSON output (`--timeseries <path>`);
     /// `None` = off.
     pub timeseries: Option<PathBuf>,
+    /// Flight-recorder JSON output (`--decisions <path>`); `None` = off.
+    pub decisions: Option<PathBuf>,
     /// Telemetry sink for the run: recording iff `--trace`, `--metrics`,
-    /// `--profile`, or `--timeseries` was given, otherwise disabled (zero
-    /// overhead).
+    /// `--profile`, `--timeseries`, or `--decisions` was given, otherwise
+    /// disabled (zero overhead).
     pub sink: TelemetrySink,
 }
 
@@ -37,6 +39,7 @@ impl Default for Env {
             metrics: None,
             profile: None,
             timeseries: None,
+            decisions: None,
             sink: TelemetrySink::Disabled,
         }
     }
@@ -97,6 +100,11 @@ impl Env {
                         it.next().unwrap_or_else(|| usage("missing value for --timeseries"));
                     env.timeseries = Some(PathBuf::from(v));
                 }
+                "--decisions" => {
+                    let v =
+                        it.next().unwrap_or_else(|| usage("missing value for --decisions"));
+                    env.decisions = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -105,6 +113,7 @@ impl Env {
             || env.metrics.is_some()
             || env.profile.is_some()
             || env.timeseries.is_some()
+            || env.decisions.is_some()
         {
             env.sink = TelemetrySink::recording();
         }
@@ -113,10 +122,11 @@ impl Env {
 
     /// Writes the requested telemetry exports: the Chrome trace to `--trace`,
     /// the metrics snapshot to `--metrics`, the per-kernel profiles to
-    /// `--profile`, the windowed time series to `--timeseries`, and (when
-    /// recording) `telemetry_metrics` + `kernel_profiles` + `timeseries`
-    /// result JSONs for `report_md`. No-op when no telemetry flag was
-    /// given.
+    /// `--profile`, the windowed time series to `--timeseries`, the
+    /// flight-recorder export to `--decisions`, and (when recording)
+    /// `telemetry_metrics` + `kernel_profiles` + `timeseries` +
+    /// `decision_audit` result JSONs for `report_md`. No-op when no
+    /// telemetry flag was given.
     ///
     /// # Panics
     ///
@@ -142,10 +152,16 @@ impl Env {
                 .unwrap_or_else(|e| panic!("cannot write timeseries {}: {e}", path.display()));
             eprintln!("wrote time series to {}", path.display());
         }
+        if let Some(path) = &self.decisions {
+            std::fs::write(path, self.sink.decisions_json())
+                .unwrap_or_else(|e| panic!("cannot write decisions {}: {e}", path.display()));
+            eprintln!("wrote decision audit to {}", path.display());
+        }
         if self.sink.is_enabled() {
             crate::report::write_json("telemetry_metrics", &self.sink.snapshot());
             crate::report::write_json("kernel_profiles", &self.sink.profiles());
             crate::report::write_json("timeseries", &self.sink.timeseries());
+            crate::report::write_json("decision_audit", &self.sink.decisions());
         }
     }
 }
@@ -155,7 +171,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--scale paper|ci|smoke] [--detail N|full] \
          [--trace <path>] [--metrics <path>] [--profile <path>] \
-         [--timeseries <path>]"
+         [--timeseries <path>] [--decisions <path>]"
     );
     std::process::exit(2)
 }
@@ -200,6 +216,12 @@ mod tests {
         assert_eq!(
             e.timeseries.as_deref(),
             Some(std::path::Path::new("/tmp/ts.json"))
+        );
+        assert!(e.sink.is_enabled());
+        let e = parse(&["--decisions", "/tmp/d.json"]);
+        assert_eq!(
+            e.decisions.as_deref(),
+            Some(std::path::Path::new("/tmp/d.json"))
         );
         assert!(e.sink.is_enabled());
     }

@@ -34,6 +34,8 @@
 //!   and model-vs-simulator drift records layered on the telemetry sink.
 //! - [`timeseries`] — windowed time-series sampler: counter deltas, gauges,
 //!   and per-window latency percentiles on fixed simulated-clock windows.
+//! - [`decision`] — request-path flight recorder: per-request critical-path
+//!   records and per-tuning-event decision audits on the telemetry sink.
 //!
 //! # Examples
 //!
@@ -62,6 +64,7 @@
 
 pub mod block;
 pub mod coalesce;
+pub mod decision;
 pub mod device;
 pub mod kernel;
 pub mod memo;
@@ -79,6 +82,7 @@ pub mod warp;
 
 pub use block::{BlockResult, BlockSim};
 pub use coalesce::AccessStats;
+pub use decision::{DecisionCandidate, DecisionRecord, DecisionsExport, RequestPathRecord};
 pub use device::{Arch, DeviceSpec};
 pub use kernel::{sample_plan, Detail, KernelResult, KernelSim};
 pub use memo::{set_sim_memo, sim_memo, BlockKey, KeyHasher, MemoStats};

@@ -335,6 +335,9 @@ pub struct SinkInner {
     /// Windowed time-series samples; the recording methods live in
     /// [`crate::timeseries`].
     pub(crate) timeseries: Mutex<crate::timeseries::TimeSeriesStore>,
+    /// Tuning decisions and per-request critical paths; the recording
+    /// methods live in [`crate::decision`].
+    pub(crate) decisions: Mutex<crate::decision::DecisionStore>,
 }
 
 /// Telemetry recording handle.
@@ -496,6 +499,10 @@ impl TelemetrySink {
         // propagates its window to device sinks at construction.
         let ts = std::mem::take(&mut *src.timeseries.lock());
         dst.timeseries.lock().merge_from(ts, device_idx);
+        // Flight-recorder records re-tag the same way: a device-local engine
+        // records device 0, which becomes the cluster-wide index here.
+        let ds = std::mem::take(&mut *src.decisions.lock());
+        dst.decisions.lock().merge_from(ds, device_idx);
     }
 
     /// Flat snapshot of the recorded counters (empty when disabled).
@@ -540,9 +547,18 @@ impl TelemetrySink {
     /// excluded — they are the one thing `TAHOE_SIM_MEMO` is allowed to
     /// change, and the trace must stay byte-identical across memo settings
     /// (`tests/determinism.rs`).
+    ///
+    /// Recorded request paths (DESIGN.md §2.15) export after the counter
+    /// tracks, in record order: one Perfetto async span (`"b"`/`"e"`, id =
+    /// request index) covering the request's end-to-end latency on the
+    /// serving queue track, plus a flow arrow (`"s"`/`"f"`) from its arrival
+    /// into the executing device's batch-execute track. Pure functions of
+    /// the recorded [`crate::decision::RequestPathRecord`]s, so the same
+    /// byte-identity guarantee applies.
     #[must_use]
     pub fn chrome_trace_json(&self) -> String {
         let timeseries = self.timeseries();
+        let decisions = self.decisions();
         let (mut spans, names) = match self {
             TelemetrySink::Disabled => (Vec::new(), BTreeMap::new()),
             TelemetrySink::Recording(inner) => {
@@ -600,6 +616,48 @@ impl TelemetrySink {
                     ),
                 ]));
             }
+        }
+        for r in &decisions.requests {
+            let queue_pid = u64::from(device_pid(PID_SERVING, 0));
+            let exec_pid = u64::from(device_pid(PID_SERVING, r.device as usize));
+            let dispatch_ns = r.arrival_ns + r.form_ns + r.queue_ns;
+            let end_ns = r.arrival_ns + r.total_ns;
+            let name = format!("request {}", r.request);
+            events.push(Value::Object(vec![
+                ("ph".into(), str_val("b")),
+                ("cat".into(), str_val("request")),
+                ("id".into(), uint(r.request)),
+                ("ts".into(), num(r.arrival_ns / 1_000.0)),
+                ("pid".into(), uint(queue_pid)),
+                ("tid".into(), uint(0)),
+                ("name".into(), str_val(&name)),
+            ]));
+            events.push(Value::Object(vec![
+                ("ph".into(), str_val("e")),
+                ("cat".into(), str_val("request")),
+                ("id".into(), uint(r.request)),
+                ("ts".into(), num(end_ns / 1_000.0)),
+                ("pid".into(), uint(queue_pid)),
+                ("tid".into(), uint(0)),
+                ("name".into(), str_val(&name)),
+            ]));
+            events.push(Value::Object(vec![
+                ("ph".into(), str_val("s")),
+                ("id".into(), uint(r.request)),
+                ("ts".into(), num(r.arrival_ns / 1_000.0)),
+                ("pid".into(), uint(queue_pid)),
+                ("tid".into(), uint(0)),
+                ("name".into(), str_val("request path")),
+            ]));
+            events.push(Value::Object(vec![
+                ("ph".into(), str_val("f")),
+                ("bp".into(), str_val("e")),
+                ("id".into(), uint(r.request)),
+                ("ts".into(), num(dispatch_ns / 1_000.0)),
+                ("pid".into(), uint(exec_pid)),
+                ("tid".into(), uint(2)),
+                ("name".into(), str_val("request path")),
+            ]));
         }
         let doc = Value::Object(vec![
             ("traceEvents".into(), Value::Array(events)),

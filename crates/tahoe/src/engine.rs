@@ -23,6 +23,7 @@ use crate::profile::DriftRecord;
 use crate::rearrange::{self, RearrangeReport, SimilarityParams};
 use crate::strategy::common::THREADS_PER_BLOCK;
 use crate::strategy::{self, LaunchContext, Strategy, StrategyRun};
+use crate::telemetry::decision::{DecisionCandidate, DecisionRecord};
 use crate::telemetry::{timeseries, Counter, TelemetryCtx, TelemetrySink, PID_ENGINE};
 use crate::tune;
 
@@ -434,6 +435,23 @@ impl Engine {
         let tuned = tune::tune_all(&ctx, &inputs, &self.hw);
         let model_eval_ns = t0.elapsed().as_nanos() as u64;
         let ranked: Vec<Prediction> = tuned.iter().map(|&(_, _, p)| p).collect();
+        // Decision audit (DESIGN.md §2.15): replay the tuner's sweep keeping
+        // rejected candidates and their reasons. Recording-only, and outside
+        // the timed section above, so selection and `model_eval_ns` are
+        // untouched when telemetry is off.
+        let audit_candidates: Option<Vec<DecisionCandidate>> =
+            self.sink.is_enabled().then(|| {
+                let n = samples.n_samples() as f64;
+                tune::sweep_candidates(&ctx, &inputs, &self.hw)
+                    .into_iter()
+                    .map(|c| DecisionCandidate {
+                        strategy: c.strategy.name().to_string(),
+                        block_threads: c.block_threads as u64,
+                        predicted_ns: c.outcome.as_ref().map_or(0.0, |p| p.total() * n),
+                        rejection: c.outcome.err().map(str::to_string),
+                    })
+                    .collect()
+            });
         let strategy = force.unwrap_or_else(|| {
             if self.options.model_selection {
                 tuned
@@ -476,12 +494,28 @@ impl Engine {
             // record predicted vs. simulated batch cost.
             let per_sample =
                 perfmodel::predict(strategy, &inputs, &self.hw, &run.geometry, &self.device);
-            self.sink.push_drift(DriftRecord::new(
+            let drift = DriftRecord::new(
                 strategy.name(),
                 samples.n_samples(),
                 per_sample.total() * samples.n_samples() as f64,
                 run.kernel.total_ns,
-            ));
+            );
+            // The decision record joins the sweep to the launch it produced;
+            // its predicted/simulated/error fields are the drift record's,
+            // so the two exports always agree (`tests/decision_schema.rs`).
+            self.sink.push_decision(DecisionRecord {
+                device: 0,
+                batch: self.sink.counter_value(Counter::EngineBatches),
+                n_samples: samples.n_samples() as u64,
+                forced: force.is_some(),
+                chosen_strategy: strategy.name().to_string(),
+                chosen_block_threads: block_threads as u64,
+                predicted_ns: drift.predicted_ns,
+                simulated_ns: drift.simulated_ns,
+                relative_error: drift.relative_error,
+                candidates: audit_candidates.unwrap_or_default(),
+            });
+            self.sink.push_drift(drift);
             // DRAM footprint gauges at the batch's simulated completion time
             // (DESIGN.md §2.14), still on the caller thread.
             let done_ns = self.clock_ns + run.kernel.total_ns;

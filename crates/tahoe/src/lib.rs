@@ -23,6 +23,9 @@
 //!   `telemetry` module for the substrate).
 //! - [`profile`] — per-kernel profiler reports, latency histograms, and the
 //!   model-vs-simulator drift auditor (substrate in `gpu-sim`'s `profile`).
+//! - [`telemetry::decision`] — the request-path flight recorder: per-request
+//!   critical-path records and per-tuning-event decision audits (substrate
+//!   in `gpu-sim`'s `decision`).
 //!
 //! # Examples
 //!
@@ -62,5 +65,6 @@ pub use perfmodel::{ModelInputs, Prediction};
 pub use profile::{DriftRecord, KernelProfile, ProfilesExport};
 pub use rearrange::{adaptive_plan, similarity_order, SimilarityParams};
 pub use strategy::{LaunchContext, Strategy, StrategyRun};
+pub use telemetry::decision::{DecisionRecord, DecisionsExport, RequestPathRecord};
 pub use telemetry::timeseries::TimeSeriesExport;
 pub use telemetry::{Counter, MetricsSnapshot, TelemetryCtx, TelemetrySink};

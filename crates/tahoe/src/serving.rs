@@ -19,6 +19,7 @@ use tahoe_datasets::SampleMatrix;
 use crate::cluster::GpuCluster;
 use crate::engine::Engine;
 use crate::strategy::Strategy;
+use crate::telemetry::decision::RequestPathRecord;
 use crate::telemetry::{timeseries, Counter, TelemetrySink, PID_SERVING};
 
 /// Dynamic-batching policy.
@@ -337,6 +338,64 @@ fn request_windows(
     }
 }
 
+/// Timing and identity of one dispatched batch, shared by every request it
+/// carried — input to [`record_request_paths`].
+struct BatchPathCtx {
+    /// Policy-ready dispatch instant of the batch (ns).
+    ready_at: f64,
+    /// Actual dispatch instant (`ready_at.max(device free_at)`, ns).
+    dispatch_at: f64,
+    /// Batch execution time on the device (ns).
+    gpu_ns: f64,
+    /// Slice of `gpu_ns` spent in block + global reductions (ns).
+    reduction_ns: f64,
+    /// Serving batch ordinal (dispatch order).
+    batch: u64,
+    /// Cluster device index that executed the batch (0 for a bare engine).
+    device: u32,
+}
+
+/// Computes each request's critical path and writes its latency.
+///
+/// The end-to-end latency is *constructed* as the left-to-right sum
+/// `form + queue + execute` rather than `finished_at − arrival`, so the
+/// critical-path components sum to it bitwise in the flight-recorder export
+/// (DESIGN.md §2.15). Each component is non-negative: `dispatch_at ≥
+/// ready_at` and rounding is monotone, so `fl(dispatch − arrival) ≥ form`.
+/// Shared verbatim by the single-engine and cluster dispatchers so a
+/// 1-device cluster reproduces [`ServingSim`]'s floats bit-for-bit.
+/// Records land in `sink` only when it is enabled; the latency arithmetic
+/// runs either way.
+fn record_request_paths(
+    sink: &TelemetrySink,
+    latencies: &mut [f64],
+    first: usize,
+    last: usize,
+    interarrival_ns: f64,
+    ctx: &BatchPathCtx,
+) {
+    for (i, lat) in latencies.iter_mut().enumerate().take(last).skip(first) {
+        let arrival = i as f64 * interarrival_ns;
+        let form = (ctx.ready_at - arrival).max(0.0);
+        let queue = (ctx.dispatch_at - arrival) - form;
+        let total = form + queue + ctx.gpu_ns;
+        *lat = total;
+        if sink.is_enabled() {
+            sink.push_request_path(RequestPathRecord {
+                request: i as u64,
+                batch: ctx.batch,
+                device: ctx.device,
+                arrival_ns: arrival,
+                form_ns: form,
+                queue_ns: queue,
+                execute_ns: ctx.gpu_ns,
+                reduction_ns: ctx.reduction_ns,
+                total_ns: total,
+            });
+        }
+    }
+}
+
 /// Serving simulator: a request trace, a policy, and an engine.
 pub struct ServingSim<'e> {
     engine: &'e mut Engine,
@@ -435,15 +494,22 @@ impl<'e> ServingSim<'e> {
                 dispatch_at,
                 (last_arrived + 1 - last) as f64,
             );
-            for (i, lat) in latencies
-                .iter_mut()
-                .enumerate()
-                .take(last)
-                .skip(first)
-            {
-                let arrival = i as f64 * interarrival_ns;
-                *lat = finished_at - arrival;
-            }
+            record_request_paths(
+                &sink,
+                &mut latencies,
+                first,
+                last,
+                interarrival_ns,
+                &BatchPathCtx {
+                    ready_at,
+                    dispatch_at,
+                    gpu_ns,
+                    reduction_ns: result.run.kernel.block_reduction_wall_ns
+                        + result.run.kernel.global_reduction_ns,
+                    batch: batches.len() as u64,
+                    device: 0,
+                },
+            );
             request_windows(&sink, &latencies, first, last, finished_at, deadline_ns);
             batches.push(record);
             gpu_free_at = finished_at;
@@ -613,10 +679,25 @@ impl<'c> ClusterServingSim<'c> {
                 dispatch_at,
                 (last_arrived + 1 - last) as f64,
             );
-            for (i, lat) in latencies.iter_mut().enumerate().take(last).skip(first) {
-                let arrival = i as f64 * interarrival_ns;
-                *lat = finished_at - arrival;
-            }
+            // Request paths are a queue-level statistic like the latency
+            // windows: recorded into the cluster sink with an explicit
+            // device index, in global dispatch order.
+            record_request_paths(
+                self.cluster.telemetry(),
+                &mut latencies,
+                first,
+                last,
+                interarrival_ns,
+                &BatchPathCtx {
+                    ready_at,
+                    dispatch_at,
+                    gpu_ns,
+                    reduction_ns: result.run.kernel.block_reduction_wall_ns
+                        + result.run.kernel.global_reduction_ns,
+                    batch: batches.len() as u64,
+                    device: dev as u32,
+                },
+            );
             request_windows(
                 self.cluster.telemetry(),
                 &latencies,

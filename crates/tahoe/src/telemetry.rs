@@ -12,6 +12,10 @@ pub use tahoe_gpu_sim::telemetry::{
 /// Windowed time-series sampler (series constants, export types, and the
 /// sink's `ts_*` recording methods) — see DESIGN.md §2.14.
 pub use tahoe_gpu_sim::timeseries;
+/// Request-path flight recorder and decision audit (record types, export,
+/// and the sink's `push_decision`/`push_request_path` methods) — see
+/// DESIGN.md §2.15.
+pub use tahoe_gpu_sim::decision;
 
 /// A disabled sink with `'static` lifetime, so contexts without telemetry
 /// can borrow one without owning a sink.

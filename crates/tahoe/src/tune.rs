@@ -48,6 +48,50 @@ pub fn tune_strategy(
     best
 }
 
+/// One audited sweep entry: a `(strategy, block size)` candidate with its
+/// prediction, or the reason the tuner skipped it.
+#[derive(Clone, Debug)]
+pub struct CandidateEval {
+    /// Strategy the candidate belongs to.
+    pub strategy: Strategy,
+    /// Candidate threads per block.
+    pub block_threads: usize,
+    /// The model's prediction, or a static rejection reason.
+    pub outcome: Result<Prediction, &'static str>,
+}
+
+/// Replays the exact sweep [`tune_all`] performs — every strategy crossed
+/// with [`THREAD_CANDIDATES`], in that order — but keeps the rejected
+/// candidates with their reasons instead of dropping them. Feeds the
+/// decision audit (DESIGN.md §2.15); selection stays with `tune_all`, so
+/// this runs only when telemetry is recording.
+#[must_use]
+pub fn sweep_candidates(
+    ctx: &LaunchContext<'_>,
+    inputs: &ModelInputs,
+    hw: &MeasuredParams,
+) -> Vec<CandidateEval> {
+    let mut out = Vec::with_capacity(Strategy::ALL.len() * THREAD_CANDIDATES.len());
+    for strategy in Strategy::ALL {
+        for &threads in &THREAD_CANDIDATES {
+            let outcome = if threads > ctx.device.max_threads_per_block as usize {
+                Err("exceeds max threads per block")
+            } else {
+                let candidate = LaunchContext {
+                    block_threads: threads,
+                    ..*ctx
+                };
+                match strategy::geometry(strategy, &candidate) {
+                    Some(geometry) => Ok(predict(strategy, inputs, hw, &geometry, ctx.device)),
+                    None => Err("geometry infeasible"),
+                }
+            };
+            out.push(CandidateEval { strategy, block_threads: threads, outcome });
+        }
+    }
+    out
+}
+
 /// Tunes every feasible strategy; returns `(strategy, block size,
 /// prediction)` triples sorted cheapest-first.
 #[must_use]
@@ -120,6 +164,49 @@ mod tests {
         for w in tuned.windows(2) {
             assert!(w[0].2.total() <= w[1].2.total());
         }
+    }
+
+    #[test]
+    fn sweep_covers_the_full_ladder_and_agrees_with_tune_strategy() {
+        let (fx, inputs, hw) = setup();
+        let ctx = context(&fx, Detail::Sampled(1));
+        let sweep = sweep_candidates(&ctx, &inputs, &hw);
+        assert_eq!(sweep.len(), Strategy::ALL.len() * THREAD_CANDIDATES.len());
+        for s in Strategy::ALL {
+            let best = sweep
+                .iter()
+                .filter(|c| c.strategy == s)
+                .filter_map(|c| c.outcome.as_ref().ok().map(|p| (c.block_threads, p)))
+                .min_by(|a, b| a.1.total().partial_cmp(&b.1.total()).unwrap());
+            match tune_strategy(s, &ctx, &inputs, &hw) {
+                Some((threads, p)) => {
+                    let (bt, bp) = best.expect("tuned strategy must have feasible candidates");
+                    assert_eq!(bt, threads, "{s}");
+                    assert_eq!(bp.total().to_bits(), p.total().to_bits(), "{s}");
+                }
+                None => assert!(best.is_none(), "{s}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_reports_rejection_reasons() {
+        let (fx, inputs, hw) = setup();
+        let mut ctx = context(&fx, Detail::Sampled(1));
+        let mut tiny = ctx.device.clone();
+        tiny.shared_mem_per_block = 64;
+        tiny.shared_mem_per_sm = 64;
+        tiny.max_threads_per_block = 512;
+        ctx.device = &tiny;
+        let sweep = sweep_candidates(&ctx, &inputs, &hw);
+        assert!(sweep
+            .iter()
+            .filter(|c| c.block_threads > 512)
+            .all(|c| c.outcome == Err("exceeds max threads per block")));
+        assert!(sweep
+            .iter()
+            .filter(|c| c.strategy == Strategy::SharedForest && c.block_threads <= 512)
+            .all(|c| c.outcome == Err("geometry infeasible")));
     }
 
     #[test]

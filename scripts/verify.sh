@@ -16,15 +16,18 @@ cargo test --workspace --release
 # (Chrome trace, metrics snapshot, kernel profiles) byte-for-byte across
 # worker counts; telemetry_schema keeps the trace loadable by Perfetto,
 # profile_schema pins the profiler payload, timeseries_schema pins the
-# windowed sampler (DESIGN.md §2.14), and drift_audit bounds
-# model-vs-simulator error. property_based rides along so the functional
-# equivalence proofs (every format/plan/strategy, classic and packed node
-# encodings, vs the CPU reference) hold in every cell too.
+# windowed sampler (DESIGN.md §2.14), decision_schema pins the
+# flight-recorder payload and its critical-path sum invariant (DESIGN.md
+# §2.15), and drift_audit bounds model-vs-simulator error. property_based
+# rides along so the functional equivalence proofs (every
+# format/plan/strategy, classic and packed node encodings, vs the CPU
+# reference) hold in every cell too.
 for workers in 1 4; do
     for memo in 0 1; do
         TAHOE_SIM_THREADS=$workers TAHOE_SIM_MEMO=$memo \
             cargo test --release --test determinism --test telemetry_schema \
             --test profile_schema --test timeseries_schema \
+            --test decision_schema \
             --test drift_audit --test property_based
     done
 done
@@ -75,18 +78,29 @@ TAHOE_SIM_THREADS=1 cargo run --release --bin tahoe-cli -- serve \
     --data letter --scale smoke --model "$FIG9_W1/model.json" \
     --devices k80,p100,v100 --requests 200 --interarrival 50 --slo-ns 500000 \
     --trace "$FIG9_W1/serve_trace.json" --metrics "$FIG9_W1/serve_metrics.json" \
-    --timeseries "$FIG9_W1/serve_timeseries.json"
+    --timeseries "$FIG9_W1/serve_timeseries.json" \
+    --decisions "$FIG9_W1/serve_decisions.json"
 TAHOE_SIM_THREADS=4 cargo run --release --bin tahoe-cli -- serve \
     --data letter --scale smoke --model "$FIG9_W1/model.json" \
     --devices k80,p100,v100 --requests 200 --interarrival 50 --slo-ns 500000 \
     --trace "$FIG9_W4/serve_trace.json" --metrics "$FIG9_W4/serve_metrics.json" \
-    --timeseries "$FIG9_W4/serve_timeseries.json"
+    --timeseries "$FIG9_W4/serve_timeseries.json" \
+    --decisions "$FIG9_W4/serve_decisions.json"
 cmp "$FIG9_W1/serve_trace.json" "$FIG9_W4/serve_trace.json"
 cmp "$FIG9_W1/serve_metrics.json" "$FIG9_W4/serve_metrics.json"
 # Windowed time-series exports obey the same byte-identity guarantee
 # (DESIGN.md §2.14), SLO windows included.
 cmp "$FIG9_W1/serve_timeseries.json" "$FIG9_W4/serve_timeseries.json"
 grep -q '"slo_windows"' "$FIG9_W1/serve_timeseries.json"
+# The flight recorder (DESIGN.md §2.15) obeys it too: decision audits and
+# request paths are byte-identical at any worker count, the serving trace
+# carries the per-request flow events, and `tahoe-cli explain` digests the
+# export end-to-end.
+cmp "$FIG9_W1/serve_decisions.json" "$FIG9_W4/serve_decisions.json"
+grep -q '"request path"' "$FIG9_W1/serve_trace.json"
+cargo run --release --bin tahoe-cli -- explain \
+    --decisions "$FIG9_W1/serve_decisions.json" --top 3 \
+    | grep -q "chose '"
 rm -rf "$FIG9_W1" "$FIG9_W4"
 
 # Bench regression gate, advisory: diff the committed results/ baseline

@@ -12,6 +12,7 @@
 //!               [--interarrival NS] [--policy latency|throughput]
 //! tahoe inspect --model model.json
 //! tahoe profile --profile profiles.json [--top N]
+//! tahoe explain --decisions decisions.json [--top N]
 //! ```
 //!
 //! `--data` accepts either a Table 2 dataset name (synthetic generation) or a
@@ -26,6 +27,7 @@ use tahoe_repro::datasets::{
 use tahoe_repro::engine::cluster::GpuCluster;
 use tahoe_repro::engine::engine::{Engine, EngineOptions, NodeEncodingChoice};
 use tahoe_repro::engine::profile::{HistogramExport, ProfilesExport};
+use tahoe_repro::engine::telemetry::decision::DecisionsExport;
 use tahoe_repro::engine::serving::{BatchingPolicy, ClusterServingSim};
 use tahoe_repro::engine::strategy::Strategy;
 use tahoe_repro::engine::telemetry::TelemetrySink;
@@ -51,6 +53,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "inspect" => cmd_inspect(&flags),
         "profile" => cmd_profile(&flags),
+        "explain" => cmd_explain(&flags),
         "--help" | "-h" | "help" => {
             print!("{HELP}");
             Ok(())
@@ -76,6 +79,7 @@ commands:
   serve    replay a request trace through a simulated multi-GPU cluster
   inspect  print a saved forest's structure summary
   profile  pretty-print a kernel-profile export (see --profile below)
+  explain  pretty-print a decision-audit export (see --decisions below)
 
 common flags:
   --data <name|file.csv>   Table 2 dataset name or CSV path (label last)
@@ -86,9 +90,9 @@ common flags:
   --kind <gbdt|rf>         ensemble type for CSV training (default gbdt)
   --task <class|reg>       CSV label type (default class)
   --strategy <s>           auto|shared-data|direct|shared-forest|splitting
-  --node-encoding <e>      infer/bench: classic|packed|auto (default auto —
-                           packed struct-of-arrays lanes when the attribute
-                           count allows it, classic otherwise)
+  --node-encoding <e>      infer/bench/serve: classic|packed|auto (default
+                           auto — packed struct-of-arrays lanes when the
+                           attribute count allows it, classic otherwise)
   --batch N                inference batch size (default: whole dataset)
   --out <file>             write predictions as CSV
   --prune EPS              collapse near-constant subtrees after training
@@ -105,9 +109,14 @@ common flags:
                            profile: the export file to pretty-print
   --timeseries <file.json> write windowed time-series samples (busy fraction,
                            queue depth, DRAM, windowed p50/p95/p99, SLO)
+  --decisions <file.json>  infer/bench/serve: write the flight recorder —
+                           per-tuning-event decision audits and per-request
+                           critical-path records;
+                           explain: the export file to pretty-print
   --slo-ns NS              serve: per-request latency deadline; tags each
                            request and reports windowed SLO attainment
-  --top N                  profile: kernels to show, by simulated time (10)
+  --top N                  profile: kernels to show, by simulated time (10);
+                           explain: decisions to show, in batch order (10)
 ";
 
 /// Parsed `--flag value` pairs.
@@ -134,6 +143,7 @@ struct Flags {
     metrics: Option<PathBuf>,
     profile: Option<PathBuf>,
     timeseries: Option<PathBuf>,
+    decisions: Option<PathBuf>,
     slo_ns: Option<f64>,
     top: Option<usize>,
 }
@@ -163,6 +173,7 @@ impl Flags {
             metrics: None,
             profile: None,
             timeseries: None,
+            decisions: None,
             slo_ns: None,
             top: None,
         };
@@ -217,6 +228,7 @@ impl Flags {
                 "--metrics" => f.metrics = Some(PathBuf::from(value()?)),
                 "--profile" => f.profile = Some(PathBuf::from(value()?)),
                 "--timeseries" => f.timeseries = Some(PathBuf::from(value()?)),
+                "--decisions" => f.decisions = Some(PathBuf::from(value()?)),
                 "--slo-ns" => {
                     let v = value()?;
                     let ns: f64 = v
@@ -268,12 +280,13 @@ impl Flags {
     }
 
     /// Telemetry sink for the run: recording iff `--trace`, `--metrics`,
-    /// `--profile`, or `--timeseries` was given.
+    /// `--profile`, `--timeseries`, or `--decisions` was given.
     fn sink(&self) -> TelemetrySink {
         if self.trace.is_some()
             || self.metrics.is_some()
             || self.profile.is_some()
             || self.timeseries.is_some()
+            || self.decisions.is_some()
         {
             TelemetrySink::recording()
         } else {
@@ -302,6 +315,11 @@ impl Flags {
             std::fs::write(path, sink.timeseries_json())
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
             println!("wrote time-series samples to {}", path.display());
+        }
+        if let Some(path) = &self.decisions {
+            std::fs::write(path, sink.decisions_json())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote decision audit to {}", path.display());
         }
         Ok(())
     }
@@ -547,8 +565,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let interarrival_ns = flags.interarrival.unwrap_or(1_000.0);
     let payloads = batch_samples(flags, &data);
     let sink = flags.sink();
-    let mut cluster =
-        GpuCluster::with_telemetry(devices, &forest, EngineOptions::tahoe(), sink.clone());
+    let options = EngineOptions {
+        node_encoding: flags.node_encoding()?,
+        ..EngineOptions::tahoe()
+    };
+    let mut cluster = GpuCluster::with_telemetry(devices, &forest, options, sink.clone());
     let report = ClusterServingSim::new(&mut cluster, policy).run_uniform_trace_with_deadline(
         &payloads,
         n_requests,
@@ -712,6 +733,116 @@ fn print_histogram(name: &str, hist: &HistogramExport) {
         hist.quantile_upper_ns(0.50) as f64 / 1e3,
         hist.quantile_upper_ns(0.99) as f64 / 1e3,
         hist.max_ns as f64 / 1e3
+    );
+}
+
+fn cmd_explain(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .decisions
+        .as_deref()
+        .ok_or("missing --decisions <file.json> (an export written by infer/bench/serve --decisions)")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let export = DecisionsExport::from_json(&text)
+        .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    print_decision_report(&export, flags.top.unwrap_or(10));
+    Ok(())
+}
+
+/// Pretty-prints a decision-audit export: each tuning event with its ranked
+/// candidate ladder, rejection reasons, chosen plan, and realized drift,
+/// followed by a request-path summary when the export came from `serve`.
+fn print_decision_report(export: &DecisionsExport, top: usize) {
+    println!("tuning decisions: {}", export.decisions.len());
+    for (i, d) in export.decisions.iter().take(top).enumerate() {
+        let forced = if d.forced { "  (strategy forced; ranking bypassed)" } else { "" };
+        println!(
+            "#{:<2} batch {} on device {}  {} samples{forced}",
+            i + 1,
+            d.batch,
+            d.device,
+            d.n_samples
+        );
+        println!(
+            "    chose '{}' @ {} threads/block  predicted {:.1} us  simulated {:.1} us  drift {:+.1}%",
+            d.chosen_strategy,
+            d.chosen_block_threads,
+            d.predicted_ns / 1e3,
+            d.simulated_ns / 1e3,
+            100.0 * d.relative_error
+        );
+        let mut feasible: Vec<_> =
+            d.candidates.iter().filter(|c| c.rejection.is_none()).collect();
+        feasible.sort_by(|a, b| {
+            a.predicted_ns
+                .partial_cmp(&b.predicted_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for (rank, c) in feasible.iter().take(5).enumerate() {
+            let marker = if c.strategy == d.chosen_strategy
+                && c.block_threads == d.chosen_block_threads
+            {
+                "  <- chosen"
+            } else {
+                ""
+            };
+            println!(
+                "    {:>2}. {:<26} {:>5} thr {:>12.1} us{marker}",
+                rank + 1,
+                c.strategy,
+                c.block_threads,
+                c.predicted_ns / 1e3
+            );
+        }
+        let rejected = d.candidates.len() - feasible.len();
+        if rejected > 0 {
+            let mut reasons: std::collections::BTreeMap<&str, usize> =
+                std::collections::BTreeMap::new();
+            for c in &d.candidates {
+                if let Some(r) = c.rejection.as_deref() {
+                    *reasons.entry(r).or_insert(0) += 1;
+                }
+            }
+            let summary: Vec<String> =
+                reasons.iter().map(|(r, n)| format!("{n} x {r}")).collect();
+            println!("    rejected {rejected} candidates: {}", summary.join(", "));
+        }
+    }
+    if export.decisions.len() > top {
+        println!("... and {} more decisions", export.decisions.len() - top);
+    }
+    if export.requests.is_empty() {
+        println!("request paths: no records (infer/bench exports have none)");
+        return;
+    }
+    let n = export.requests.len() as f64;
+    let (mut form, mut queue, mut execute) = (0.0, 0.0, 0.0);
+    let mut worst = &export.requests[0];
+    for r in &export.requests {
+        form += r.form_ns;
+        queue += r.queue_ns;
+        execute += r.execute_ns;
+        if r.total_ns > worst.total_ns {
+            worst = r;
+        }
+    }
+    println!(
+        "request paths: {} requests  mean form {:.1} us  queue {:.1} us  execute {:.1} us",
+        export.requests.len(),
+        form / n / 1e3,
+        queue / n / 1e3,
+        execute / n / 1e3
+    );
+    println!(
+        "worst request #{} (batch {}, device {}): total {:.1} us = form {:.1} + queue {:.1} + execute {:.1} (reduction {:.1} within execute)",
+        worst.request,
+        worst.batch,
+        worst.device,
+        worst.total_ns / 1e3,
+        worst.form_ns / 1e3,
+        worst.queue_ns / 1e3,
+        worst.execute_ns / 1e3,
+        worst.reduction_ns / 1e3
     );
 }
 

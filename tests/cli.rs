@@ -133,6 +133,54 @@ fn profile_export_and_pretty_print() {
 }
 
 #[test]
+fn serve_decisions_export_and_explain() {
+    let model = temp_path("decisions_model.json");
+    let decisions = temp_path("decisions_export.json");
+    let out = cli()
+        .args(["train", "--data", "letter", "--scale", "smoke"])
+        .args(["--model", model.to_str().unwrap()])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // serve accepts --node-encoding and --decisions; the export carries
+    // both decision audits and per-request critical-path records.
+    let out = cli()
+        .args(["serve", "--data", "letter", "--scale", "smoke"])
+        .args(["--model", model.to_str().unwrap()])
+        .args(["--devices", "k80,p100", "--requests", "100", "--interarrival", "50"])
+        .args(["--node-encoding", "packed"])
+        .args(["--decisions", decisions.to_str().unwrap()])
+        .output()
+        .expect("run serve");
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote decision audit"));
+    let written = std::fs::read_to_string(&decisions).expect("decisions written");
+    assert!(written.contains("\"decisions\""), "export payload: {written}");
+    assert!(written.contains("\"requests\""), "export payload: {written}");
+
+    let out = cli()
+        .args(["explain", "--decisions", decisions.to_str().unwrap(), "--top", "2"])
+        .output()
+        .expect("run explain");
+    assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("tuning decisions:"), "report header: {text}");
+    assert!(text.contains("chose '"), "chosen plan line: {text}");
+    assert!(text.contains("<- chosen"), "ranked ladder marks the winner: {text}");
+    assert!(text.contains("request paths: 100 requests"), "path summary: {text}");
+    assert!(text.contains("worst request"), "worst-request attribution: {text}");
+
+    // The subcommand fails cleanly without an export to read.
+    let out = cli().args(["explain"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--decisions"));
+
+    std::fs::remove_file(&model).ok();
+    std::fs::remove_file(&decisions).ok();
+}
+
+#[test]
 fn forced_infeasible_strategy_is_rejected() {
     let model = temp_path("infeasible.json");
     // Smoke-scale higgs at depth 10 with many trees stays small, so force a

@@ -12,14 +12,15 @@
 //! the same cross-product via `TAHOE_SIM_THREADS` / `TAHOE_SIM_MEMO` to
 //! exercise the environment-variable paths.
 //!
-//! Export identity is layered: Chrome traces are byte-identical across *all*
-//! four configurations (spans carry no memo information, and counter tracks
-//! skip the memo series); metrics snapshots, kernel profiles, and windowed
-//! time-series exports are byte-identical across worker counts at a fixed
-//! memo setting, and identical across memo settings once the memo accounting
-//! itself (`memo_hits` / `memo_misses` / `memo_bytes` / `memo_hit_rate`
-//! fields; the `memo_*` series) is normalized out — that accounting is the
-//! one thing memoization is *allowed* to change.
+//! Export identity is layered: Chrome traces (including the per-request
+//! async/flow events the flight recorder adds, DESIGN.md §2.15) and
+//! flight-recorder decision exports are byte-identical across *all* four
+//! configurations (neither carries memo information); metrics snapshots,
+//! kernel profiles, and windowed time-series exports are byte-identical
+//! across worker counts at a fixed memo setting, and identical across memo
+//! settings once the memo accounting itself (`memo_hits` / `memo_misses` /
+//! `memo_bytes` / `memo_hit_rate` fields; the `memo_*` series) is normalized
+//! out — that accounting is the one thing memoization is *allowed* to change.
 
 use std::sync::Mutex;
 
@@ -123,6 +124,7 @@ struct ConfigRun {
     metrics: String,
     profiles: String,
     timeseries: String,
+    decisions: String,
 }
 
 fn run_config(ctx: &LaunchContext<'_>, s: Strategy, memo: bool, workers: usize) -> ConfigRun {
@@ -142,6 +144,7 @@ fn run_config(ctx: &LaunchContext<'_>, s: Strategy, memo: bool, workers: usize) 
         metrics: sink.metrics_json(),
         profiles: sink.profiles_json(),
         timeseries: sink.timeseries_json(),
+        decisions: sink.decisions_json(),
     }
 }
 
@@ -262,10 +265,12 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
                     (None, None) => {} // infeasible either way — consistent
                     _ => panic!("{what}: feasibility changed with configuration"),
                 }
-                // Chrome traces carry no memo information at all, so they
-                // must match byte-for-byte across the whole cross-product:
-                // the trace files users diff are the serialized strings.
+                // Chrome traces and flight-recorder exports carry no memo
+                // information at all, so they must match byte-for-byte
+                // across the whole cross-product: the trace files users diff
+                // are the serialized strings.
                 assert_eq!(base.trace, other.trace, "{what}: Chrome trace differs");
+                assert_eq!(base.decisions, other.decisions, "{what}: decisions differ");
                 if other.memo == base.memo {
                     // Same memo setting: full byte identity across workers.
                     assert_eq!(base.metrics, other.metrics, "{what}: metrics differ");
@@ -338,9 +343,14 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
         assert_eq!(seq.1, par.1, "cluster memo={memo}: metrics differ");
         assert_eq!(seq.2, par.2, "cluster memo={memo}: profiles differ");
         assert_eq!(seq.3, par.3, "cluster memo={memo}: timeseries differ");
+        assert_eq!(seq.4, par.4, "cluster memo={memo}: decisions differ");
         per_memo.push(seq);
     }
     assert_eq!(per_memo[0].0, per_memo[1].0, "cluster: Chrome trace differs across memo");
+    // Decision audits and request paths derive entirely from the simulated
+    // clock and the performance model, neither of which memoization may
+    // touch, so the export is byte-identical across memo settings too.
+    assert_eq!(per_memo[0].4, per_memo[1].4, "cluster: decisions differ across memo");
     assert_eq!(
         normalized(&per_memo[0].1),
         normalized(&per_memo[1].1),
@@ -361,7 +371,7 @@ fn parallel_simulation_is_bit_identical_to_one_thread() {
 /// Exports from a heterogeneous multi-GPU serving trace, built under the
 /// current worker-count/memo overrides (caller sets them while holding
 /// [`OVERRIDE_LOCK`]).
-fn cluster_serving_exports() -> (String, String, String, String) {
+fn cluster_serving_exports() -> (String, String, String, String, String) {
     let fx = Fixture::trained("letter");
     let sink = TelemetrySink::recording();
     let devices = vec![
@@ -381,6 +391,7 @@ fn cluster_serving_exports() -> (String, String, String, String) {
         sink.metrics_json(),
         sink.profiles_json(),
         sink.timeseries_json(),
+        sink.decisions_json(),
     )
 }
 

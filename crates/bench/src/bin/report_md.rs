@@ -581,7 +581,9 @@ fn worst_p99_attribution_section(v: &Value) -> Option<String> {
     if rows.is_empty() {
         return None;
     }
-    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp`: a NaN latency must not scramble the sort (NaNs order last
+    // in descending order rather than poisoning comparisons).
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
     let slow = &rows[..rows.len().div_ceil(100)];
     let total: f64 = slow.iter().map(|r| r.0).sum();
     let sum = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| slow.iter().map(f).sum::<f64>();
@@ -618,6 +620,45 @@ fn worst_p99_attribution_section(v: &Value) -> Option<String> {
             drift.len(),
             100.0 * drift.iter().sum::<f64>() / drift.len() as f64,
             100.0 * drift.iter().copied().fold(0.0f64, f64::max),
+        );
+    }
+    // Tuning-cache and calibration digests (DESIGN.md §2.16). Both are
+    // guarded on the new fields actually being present, so exports written
+    // before the flight recorder carried them simply omit the lines.
+    let decisions: Vec<&Value> = v["decisions"].as_array().into_iter().flatten().collect();
+    let cached: Vec<bool> = decisions
+        .iter()
+        .filter_map(|d| d["cache_hit"].as_bool())
+        .collect();
+    if !cached.is_empty() {
+        let hits = cached.iter().filter(|h| **h).count();
+        let _ = writeln!(
+            out,
+            "- tuning cache: {}/{} decisions served from cache ({:.1}% hit rate)",
+            hits,
+            cached.len(),
+            100.0 * hits as f64 / cached.len() as f64,
+        );
+    }
+    let abs_err_where = |pred: &dyn Fn(u64) -> bool| -> Vec<f64> {
+        decisions
+            .iter()
+            .filter(|d| d["calibration_generation"].as_u64().is_some_and(pred))
+            .filter_map(|d| d["relative_error"].as_f64())
+            .map(f64::abs)
+            .collect()
+    };
+    let raw = abs_err_where(&|g| g == 0);
+    let calibrated = abs_err_where(&|g| g > 0);
+    if !raw.is_empty() && !calibrated.is_empty() {
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let _ = writeln!(
+            out,
+            "- calibration: mean |drift| {:.2}% uncalibrated ({} gen-0 decisions) -> {:.2}% calibrated ({} decisions)",
+            100.0 * mean(&raw),
+            raw.len(),
+            100.0 * mean(&calibrated),
+            calibrated.len(),
         );
     }
     Some(out)
@@ -780,6 +821,59 @@ mod tests {
         );
         assert!(
             section.contains("tuning decisions: 2 recorded, mean |drift| 15.0%, max |drift| 20.0%"),
+            "{section}"
+        );
+        // Exports written before the flight recorder carried cache and
+        // calibration fields omit those digest lines entirely.
+        assert!(!section.contains("tuning cache:"), "{section}");
+        assert!(!section.contains("calibration:"), "{section}");
+    }
+
+    #[test]
+    fn worst_p99_attribution_digests_cache_and_calibration() {
+        let v: Value = serde_json::from_str(
+            r#"{
+              "decisions": [
+                {"device": 0, "batch": 0, "n_samples": 32, "forced": false,
+                 "chosen_strategy": "direct", "chosen_block_threads": 128,
+                 "predicted_ns": 110.0, "simulated_ns": 100.0,
+                 "relative_error": 0.1, "calibration_generation": 0,
+                 "cache_hit": false, "candidates": []},
+                {"device": 0, "batch": 1, "n_samples": 32, "forced": false,
+                 "chosen_strategy": "direct", "chosen_block_threads": 128,
+                 "predicted_ns": 80.0, "simulated_ns": 100.0,
+                 "relative_error": -0.2, "calibration_generation": 0,
+                 "cache_hit": true, "candidates": []},
+                {"device": 0, "batch": 2, "n_samples": 32, "forced": false,
+                 "chosen_strategy": "direct", "chosen_block_threads": 128,
+                 "predicted_ns": 99.0, "simulated_ns": 100.0,
+                 "relative_error": -0.01, "calibration_generation": 1,
+                 "cache_hit": true, "candidates": []},
+                {"device": 0, "batch": 3, "n_samples": 32, "forced": false,
+                 "chosen_strategy": "direct", "chosen_block_threads": 128,
+                 "predicted_ns": 103.0, "simulated_ns": 100.0,
+                 "relative_error": 0.03, "calibration_generation": 1,
+                 "cache_hit": true, "candidates": []}
+              ],
+              "requests": [
+                {"request": 0, "batch": 0, "device": 0, "arrival_ns": 0.0,
+                 "form_ns": 10000.0, "queue_ns": 10000.0, "execute_ns": 40000.0,
+                 "reduction_ns": 5000.0, "total_ns": 60000.0}
+              ]
+            }"#,
+        )
+        .expect("fixture parses");
+        let section = worst_p99_attribution_section(&v).expect("non-empty digest");
+        // 3 of 4 decisions hit the cache; gen-0 mean |drift| = (10+20)/2 =
+        // 15%, gen-1 mean = (1+3)/2 = 2%.
+        assert!(
+            section.contains("tuning cache: 3/4 decisions served from cache (75.0% hit rate)"),
+            "{section}"
+        );
+        assert!(
+            section.contains(
+                "calibration: mean |drift| 15.00% uncalibrated (2 gen-0 decisions) -> 2.00% calibrated (2 decisions)"
+            ),
             "{section}"
         );
     }

@@ -41,9 +41,10 @@ pub struct DecisionCandidate {
     pub strategy: String,
     /// Candidate threads per block.
     pub block_threads: u64,
-    /// Model-predicted batch cost (ns); 0 when the candidate was rejected
-    /// before costing.
-    pub predicted_ns: f64,
+    /// Model-predicted batch cost (ns); `None` (JSON `null`) when the
+    /// candidate was rejected before costing — a rejection is not a
+    /// zero-cost prediction.
+    pub predicted_ns: Option<f64>,
     /// Why the candidate was rejected (`None` = feasible and costed).
     pub rejection: Option<String>,
 }
@@ -73,6 +74,13 @@ pub struct DecisionRecord {
     /// `(predicted − simulated) / simulated` (0 when simulated is 0) — the
     /// same value as the launch's `DriftRecord`.
     pub relative_error: f64,
+    /// Calibration generation the predictions were made under (0 = the raw
+    /// §6 constants; bumps when the engine's calibrator refits and moves a
+    /// scale).
+    pub calibration_generation: u64,
+    /// Whether the tuned plan list came from the engine's tuning-decision
+    /// cache instead of a fresh `tune_all` sweep.
+    pub cache_hit: bool,
     /// Every candidate the tuner swept, in sweep order (strategy-major,
     /// ascending block size).
     pub candidates: Vec<DecisionCandidate>,
@@ -219,17 +227,19 @@ mod tests {
             predicted_ns: 900.0,
             simulated_ns: 1_000.0,
             relative_error: -0.1,
+            calibration_generation: 0,
+            cache_hit: false,
             candidates: vec![
                 DecisionCandidate {
                     strategy: "shared data".to_string(),
                     block_threads: 128,
-                    predicted_ns: 900.0,
+                    predicted_ns: Some(900.0),
                     rejection: None,
                 },
                 DecisionCandidate {
                     strategy: "shared forest".to_string(),
                     block_threads: 1024,
-                    predicted_ns: 0.0,
+                    predicted_ns: None,
                     rejection: Some("geometry infeasible".to_string()),
                 },
             ],

@@ -18,7 +18,7 @@ use tahoe_gpu_sim::memory::{DeviceMemory, OomError, ALLOC_ALIGN, GLOBAL_BASE};
 use tahoe_gpu_sim::{measure, GlobalBuffer, MeasuredParams};
 
 use crate::format::{DeviceForest, FormatConfig, LayoutPlan, NodeEncoding};
-use crate::perfmodel::{self, ModelInputs, Prediction};
+use crate::perfmodel::{self, Calibrator, ModelInputs, Prediction};
 use crate::profile::DriftRecord;
 use crate::rearrange::{self, RearrangeReport, SimilarityParams};
 use crate::strategy::common::THREADS_PER_BLOCK;
@@ -84,6 +84,13 @@ pub struct EngineOptions {
     /// whole-node layout so their simulated traces stay byte-identical;
     /// `tahoe-cli` defaults to `Auto`.
     pub node_encoding: NodeEncodingChoice,
+    /// Online recalibration of the §6 constants from the engine's own drift
+    /// stream (DESIGN.md §2.16). Off in the presets so their selections and
+    /// exports stay bit-identical to the historical engine; `tahoe-cli`
+    /// enables it with `--calibrate`. Calibration consumes only
+    /// simulated-clock values, so turning it on keeps every export
+    /// byte-identical at any worker count and across memo settings.
+    pub calibration: bool,
 }
 
 impl EngineOptions {
@@ -100,6 +107,7 @@ impl EngineOptions {
             functional: true,
             track_probabilities: false,
             node_encoding: NodeEncodingChoice::Classic,
+            calibration: false,
         }
     }
 
@@ -117,6 +125,7 @@ impl EngineOptions {
             functional: true,
             track_probabilities: false,
             node_encoding: NodeEncodingChoice::Classic,
+            calibration: false,
         }
     }
 }
@@ -190,6 +199,14 @@ pub struct Engine {
     /// Host-phase cursor for the engine track's wall-clock-measured spans
     /// (rearrange/convert/tune), laid out sequentially.
     host_cursor_ns: f64,
+    /// Online §6-constant recalibration state (DESIGN.md §2.16). Always
+    /// present; folded into and applied to selections only when
+    /// `options.calibration` is on.
+    calibrator: Calibrator,
+    /// Memoized `tune_all` plan lists keyed by everything selection depends
+    /// on (`tune::cache_key`); cleared on reconversion and on
+    /// calibration-generation bumps.
+    tuning_cache: tune::TuningCache,
 }
 
 impl Engine {
@@ -236,6 +253,8 @@ impl Engine {
             sink,
             clock_ns: 0.0,
             host_cursor_ns: 0.0,
+            calibrator: Calibrator::new(),
+            tuning_cache: tune::TuningCache::new(),
         };
         if engine.options.track_probabilities {
             engine.counter = Some(EdgeCounter::new(&engine.forest));
@@ -276,6 +295,11 @@ impl Engine {
             sink,
             clock_ns: 0.0,
             host_cursor_ns: 0.0,
+            // Fitted scales carry over with the rest of the calibration;
+            // the tuning cache does not — replica slots run downclocked
+            // specs, so the template's keys would never match anyway.
+            calibrator: self.calibrator.clone(),
+            tuning_cache: tune::TuningCache::new(),
         }
     }
 
@@ -293,6 +317,10 @@ impl Engine {
 
     /// (Re)builds the device forest from the current host forest.
     fn convert(&mut self) {
+        // The cache keys per-forest statistics but not the per-tree layout;
+        // its validity contract is that the forest image is fixed within one
+        // cache lifetime, so a rebuild drops every entry (DESIGN.md §2.16).
+        self.tuning_cache.clear();
         let mut report = ConversionReport::default();
         let plan = match (self.options.node_rearrange, self.options.tree_rearrange) {
             (true, true) => {
@@ -429,25 +457,63 @@ impl Engine {
             telemetry: TelemetryCtx { sink: &self.sink, t0_ns: self.clock_ns },
         };
         let inputs = ModelInputs::gather(&self.device_forest, &self.stats, samples);
-        // Model evaluation: tune each feasible strategy's block size
-        // (Algorithm 1 line 14) and rank the tuned predictions (lines 8-13).
+        let cal_enabled = self.options.calibration;
+        let cal = cal_enabled.then_some(&self.calibrator);
+        // Model evaluation: consult the tuning-decision cache (DESIGN.md
+        // §2.16), falling back to tuning each feasible strategy's block size
+        // (Algorithm 1 line 14) and ranking the tuned predictions (lines
+        // 8-13). The cached value is a pure function of its key material, so
+        // warm and cold runs select identically — only this host span and
+        // the cache accounting differ.
         let t0 = Instant::now();
-        let tuned = tune::tune_all(&ctx, &inputs, &self.hw);
+        let (tuned, cache_hit) = if tune::tune_cache_enabled() {
+            let key = tune::cache_key(
+                &self.device_forest,
+                &self.device,
+                &inputs,
+                self.options.detail,
+                self.calibrator.generation(),
+            );
+            match self.tuning_cache.get(&key) {
+                Some(cached) => (cached.clone(), true),
+                None => {
+                    let fresh = tune::tune_all_with(&ctx, &inputs, &self.hw, cal);
+                    self.tuning_cache.insert(key, fresh.clone());
+                    (fresh, false)
+                }
+            }
+        } else {
+            (tune::tune_all_with(&ctx, &inputs, &self.hw, cal), false)
+        };
         let model_eval_ns = t0.elapsed().as_nanos() as u64;
+        // Cache accounting only when the cache was consulted, mirroring the
+        // block-memo counters: turning the cache off zeroes these counters
+        // but must change nothing else.
+        if tune::tune_cache_enabled() {
+            self.sink.add(
+                if cache_hit {
+                    Counter::TuningCacheHits
+                } else {
+                    Counter::TuningCacheMisses
+                },
+                1,
+            );
+        }
         let ranked: Vec<Prediction> = tuned.iter().map(|&(_, _, p)| p).collect();
         // Decision audit (DESIGN.md §2.15): replay the tuner's sweep keeping
-        // rejected candidates and their reasons. Recording-only, and outside
-        // the timed section above, so selection and `model_eval_ns` are
-        // untouched when telemetry is off.
+        // rejected candidates and their reasons, under the same calibration
+        // the selection used. Recording-only, and outside the timed section
+        // above, so selection and `model_eval_ns` are untouched when
+        // telemetry is off.
         let audit_candidates: Option<Vec<DecisionCandidate>> =
             self.sink.is_enabled().then(|| {
                 let n = samples.n_samples() as f64;
-                tune::sweep_candidates(&ctx, &inputs, &self.hw)
+                tune::sweep_candidates_with(&ctx, &inputs, &self.hw, cal)
                     .into_iter()
                     .map(|c| DecisionCandidate {
                         strategy: c.strategy.name().to_string(),
                         block_threads: c.block_threads as u64,
-                        predicted_ns: c.outcome.as_ref().map_or(0.0, |p| p.total() * n),
+                        predicted_ns: c.outcome.as_ref().ok().map(|p| p.total() * n),
                         rejection: c.outcome.err().map(str::to_string),
                     })
                     .collect()
@@ -479,6 +545,21 @@ impl Engine {
         let run = strategy::run(strategy, &run_ctx)
             .unwrap_or_else(|| panic!("strategy {strategy} infeasible for this forest/device"));
         self.sink.add(Counter::EngineBatches, 1);
+        // Drift replay (DESIGN.md §2.10): the launch through the §6 model
+        // with the geometry actually launched. The calibrator folds the
+        // *raw* prediction (the fit is always against the uncalibrated
+        // model); telemetry records the *applied* one — the cost selection
+        // actually compared.
+        let replay = (cal_enabled || self.sink.is_enabled()).then(|| {
+            let n = samples.n_samples() as f64;
+            let raw = perfmodel::predict(strategy, &inputs, &self.hw, &run.geometry, &self.device);
+            let applied = cal.map_or(raw, |c| c.apply(raw));
+            debug_assert!(
+                applied.total().is_finite(),
+                "non-finite drift-replay prediction for {strategy} ({n} samples)"
+            );
+            (raw.total() * n, applied.total() * n)
+        });
         if self.sink.is_enabled() {
             self.sink.name_process(PID_ENGINE, "engine");
             self.host_span("tune", model_eval_ns as f64);
@@ -489,15 +570,11 @@ impl Engine {
                 self.clock_ns,
                 run.kernel.total_ns,
             );
-            // Drift auditor (DESIGN.md §2.10): replay the launch through the
-            // §6 performance model with the geometry actually launched, and
-            // record predicted vs. simulated batch cost.
-            let per_sample =
-                perfmodel::predict(strategy, &inputs, &self.hw, &run.geometry, &self.device);
+            let (_, applied_ns) = replay.expect("replayed when the sink records");
             let drift = DriftRecord::new(
                 strategy.name(),
                 samples.n_samples(),
-                per_sample.total() * samples.n_samples() as f64,
+                applied_ns,
                 run.kernel.total_ns,
             );
             // The decision record joins the sweep to the launch it produced;
@@ -513,6 +590,8 @@ impl Engine {
                 predicted_ns: drift.predicted_ns,
                 simulated_ns: drift.simulated_ns,
                 relative_error: drift.relative_error,
+                calibration_generation: self.calibrator.generation(),
+                cache_hit,
                 candidates: audit_candidates.unwrap_or_default(),
             });
             self.sink.push_drift(drift);
@@ -533,6 +612,18 @@ impl Engine {
             );
         }
         self.clock_ns += run.kernel.total_ns;
+        // Close the tuning loop (DESIGN.md §2.16): fold this launch's drift
+        // observation and refit on cadence. Both inputs derive from the
+        // simulated clock, so calibration cannot perturb byte-identity. A
+        // generation bump invalidates the tuning cache — by dropping
+        // entries, never by mutating them.
+        if cal_enabled {
+            let (raw_ns, _) = replay.expect("replayed when calibration is on");
+            self.calibrator.observe(strategy, raw_ns, run.kernel.total_ns);
+            if self.calibrator.maybe_recalibrate() {
+                self.tuning_cache.clear();
+            }
+        }
         let predictions = if self.options.functional {
             self.device_forest.predict_batch(samples)
         } else {
@@ -746,6 +837,20 @@ impl Engine {
     #[must_use]
     pub fn options(&self) -> &EngineOptions {
         &self.options
+    }
+
+    /// Online recalibration state (identity scales, generation 0 unless
+    /// [`EngineOptions::calibration`] is on and drift has accumulated).
+    #[must_use]
+    pub fn calibrator(&self) -> &Calibrator {
+        &self.calibrator
+    }
+
+    /// Distinct batch shapes currently memoized in the tuning-decision
+    /// cache.
+    #[must_use]
+    pub fn tuning_cache_len(&self) -> usize {
+        self.tuning_cache.len()
     }
 }
 
@@ -981,6 +1086,110 @@ mod tests {
         let image_before = engine.device_forest().image_bytes();
         engine.refresh_probabilities();
         assert_eq!(engine.device_forest().image_bytes(), image_before);
+    }
+
+    #[test]
+    fn tuning_cache_hits_on_repeated_batches_without_changing_selection() {
+        // Default cache state (on, no override) — safe alongside parallel
+        // in-crate tests, which never flip the process-wide toggle.
+        let (forest, samples) = setup("letter");
+        let sink = TelemetrySink::recording();
+        let mut engine = Engine::with_telemetry(
+            DeviceSpec::tesla_p100(),
+            forest,
+            EngineOptions::tahoe(),
+            sink.clone(),
+        );
+        let first = engine.infer(&samples);
+        let second = engine.infer(&samples);
+        assert_eq!(engine.tuning_cache_len(), 1, "one shape, one entry");
+        assert_eq!(sink.counter_value(Counter::TuningCacheMisses), 1);
+        assert_eq!(sink.counter_value(Counter::TuningCacheHits), 1);
+        // The cached plan list is bit-identical to the fresh sweep's.
+        assert_eq!(first.strategy, second.strategy);
+        assert_eq!(first.ranked.len(), second.ranked.len());
+        for (a, b) in first.ranked.iter().zip(&second.ranked) {
+            assert_eq!(a.total().to_bits(), b.total().to_bits());
+        }
+        let decisions = sink.decisions().decisions;
+        assert_eq!(decisions.len(), 2);
+        assert!(!decisions[0].cache_hit, "first batch is a cold miss");
+        assert!(decisions[1].cache_hit, "second batch replays the cache");
+        assert_eq!(
+            decisions[0].chosen_block_threads,
+            decisions[1].chosen_block_threads
+        );
+    }
+
+    #[test]
+    fn forest_rebuild_invalidates_the_tuning_cache() {
+        let (forest, samples) = setup("letter");
+        let sink = TelemetrySink::recording();
+        let mut engine = Engine::with_telemetry(
+            DeviceSpec::tesla_p100(),
+            forest,
+            EngineOptions::tahoe(),
+            sink.clone(),
+        );
+        let _ = engine.infer(&samples);
+        let (forest2, _) = setup("letter");
+        engine.update_forest(forest2, None);
+        let _ = engine.infer(&samples);
+        assert_eq!(
+            sink.counter_value(Counter::TuningCacheMisses),
+            2,
+            "reconversion drops every cached entry"
+        );
+    }
+
+    #[test]
+    fn calibration_reduces_model_error_on_repeated_batches() {
+        use crate::perfmodel::calibrate::RECALIBRATE_INTERVAL;
+        let (forest, samples) = setup("letter");
+        let sink = TelemetrySink::recording();
+        let options = EngineOptions {
+            calibration: true,
+            ..EngineOptions::tahoe()
+        };
+        let mut engine =
+            Engine::with_telemetry(DeviceSpec::tesla_p100(), forest, options, sink.clone());
+        // Pin the strategy so the drift stream stays on one bucket: the
+        // test isolates the calibrator loop from selection switching (which
+        // free selection may legitimately do once scales move).
+        let batches = 3 * RECALIBRATE_INTERVAL as usize;
+        for _ in 0..batches {
+            let _ = engine.infer_with(&samples, Some(Strategy::Direct));
+        }
+        assert!(
+            engine.calibrator().generation() > 0,
+            "a repeated biased workload must trigger a refit"
+        );
+        let decisions = sink.decisions().decisions;
+        let err = |gen0: bool| {
+            let picked: Vec<f64> = decisions
+                .iter()
+                .filter(|d| (d.calibration_generation == 0) == gen0)
+                .map(|d| d.relative_error.abs())
+                .collect();
+            assert!(!picked.is_empty(), "both generations must appear");
+            picked.iter().sum::<f64>() / picked.len() as f64
+        };
+        let uncalibrated = err(true);
+        let calibrated = err(false);
+        assert!(
+            calibrated < uncalibrated,
+            "mean |model err| must drop once calibrated: {calibrated} !< {uncalibrated}"
+        );
+        // On an identical repeated batch the least-squares fit is exact, so
+        // the calibrated error collapses to rounding noise.
+        assert!(calibrated < 1e-6, "calibrated error is ~0: {calibrated}");
+        // A generation bump invalidates the cache: more than one miss.
+        assert!(sink.counter_value(Counter::TuningCacheMisses) > 1);
+        assert_eq!(
+            sink.counter_value(Counter::TuningCacheHits)
+                + sink.counter_value(Counter::TuningCacheMisses),
+            batches as u64
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod tune;
 pub use cluster::{ClusterRun, DeviceRun, GpuCluster};
 pub use engine::{Engine, EngineOptions, InferenceResult, NodeEncodingChoice};
 pub use format::{DeviceForest, FormatConfig, LayoutPlan, NodeEncoding, PackedWidth};
-pub use perfmodel::{ModelInputs, Prediction};
+pub use perfmodel::{Calibrator, ModelInputs, Prediction};
 pub use profile::{DriftRecord, KernelProfile, ProfilesExport};
 pub use rearrange::{adaptive_plan, similarity_order, SimilarityParams};
 pub use strategy::{LaunchContext, Strategy, StrategyRun};

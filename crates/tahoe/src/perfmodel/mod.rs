@@ -28,6 +28,10 @@
 //! selection-accuracy experiment (§7.3) validates this extended model against
 //! the simulator.
 
+pub mod calibrate;
+
+pub use calibrate::Calibrator;
+
 use serde::{Deserialize, Serialize};
 
 use tahoe_datasets::SampleMatrix;
@@ -233,7 +237,9 @@ pub fn rank(ctx: &LaunchContext<'_>, inputs: &ModelInputs, hw: &MeasuredParams) 
             crate::strategy::geometry(s, ctx).map(|g| predict(s, inputs, hw, &g, ctx.device))
         })
         .collect();
-    out.sort_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite predictions"));
+    // `total_cmp` keeps the sort total even if a fitted constant ever turns a
+    // prediction non-finite: NaN sorts last instead of panicking mid-batch.
+    out.sort_by(|a, b| a.total().total_cmp(&b.total()));
     out
 }
 

@@ -187,7 +187,9 @@ impl ServingReport {
         }
         let sorted = self.sorted_latencies.get_or_init(|| {
             let mut sorted = self.latencies_ns.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            // `total_cmp` keeps the sort total if a latency ever goes
+            // non-finite: NaN sorts last and report generation survives.
+            sorted.sort_by(f64::total_cmp);
             sorted
         });
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
@@ -765,6 +767,24 @@ mod tests {
             Engine::new(DeviceSpec::tesla_p100(), forest, options),
             infer.samples,
         )
+    }
+
+    #[test]
+    fn percentiles_survive_an_injected_nan_latency() {
+        // One poisoned latency must not take down report generation: NaN
+        // sorts last under `total_cmp`, so every percentile below the tail
+        // still answers from the finite values.
+        let report = ServingReport::new(
+            Vec::new(),
+            vec![300.0, f64::NAN, 100.0, 200.0],
+            1_000.0,
+            0,
+        );
+        assert_eq!(report.latency_percentile_ns(0.0), 100.0);
+        assert_eq!(report.latency_percentile_ns(1.0 / 3.0), 200.0);
+        assert_eq!(report.latency_percentile_ns(2.0 / 3.0), 300.0);
+        assert!(report.latency_percentile_ns(1.0).is_nan(), "NaN sorts last");
+        assert_eq!(report.n_requests(), 4);
     }
 
     #[test]

@@ -6,10 +6,25 @@
 //! The tuner evaluates the performance model over a candidate block-size
 //! ladder for each strategy and keeps the cheapest — the grid size follows
 //! from each strategy's geometry (one wave target, occupancy-aware).
+//!
+//! Repeat-serving workloads re-tune the same shape over and over, so the
+//! engine consults a [`TuningCache`] first (DESIGN.md §2.16): the full
+//! cheapest-first plan list is memoized under a [`cache_key`] covering
+//! everything selection depends on — node encoding, batch shape, device
+//! spec, simulation detail, and the calibration generation. The key follows
+//! the false-sharing discipline of `gpu-sim/src/memo.rs`: exact bit
+//! patterns, no lossy rounding, and a 128-bit fingerprint.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tahoe_gpu_sim::device::DeviceSpec;
+use tahoe_gpu_sim::kernel::Detail;
+use tahoe_gpu_sim::memo::{BlockKey, KeyHasher};
 use tahoe_gpu_sim::MeasuredParams;
 
-use crate::perfmodel::{predict, ModelInputs, Prediction};
+use crate::format::DeviceForest;
+use crate::perfmodel::{predict, Calibrator, ModelInputs, Prediction};
 use crate::strategy::{self, LaunchContext, Strategy};
 
 /// Candidate block sizes (whole warps; clamped to the device limit).
@@ -25,6 +40,20 @@ pub fn tune_strategy(
     inputs: &ModelInputs,
     hw: &MeasuredParams,
 ) -> Option<(usize, Prediction)> {
+    tune_strategy_with(strategy, ctx, inputs, hw, None)
+}
+
+/// [`tune_strategy`] with an optional calibrator applied to every
+/// prediction before comparison, so calibrated corrections can re-order the
+/// block-size ladder, not just rescale the winner.
+#[must_use]
+pub fn tune_strategy_with(
+    strategy: Strategy,
+    ctx: &LaunchContext<'_>,
+    inputs: &ModelInputs,
+    hw: &MeasuredParams,
+    cal: Option<&Calibrator>,
+) -> Option<(usize, Prediction)> {
     let mut best: Option<(usize, Prediction)> = None;
     for &threads in &THREAD_CANDIDATES {
         if threads > ctx.device.max_threads_per_block as usize {
@@ -38,6 +67,7 @@ pub fn tune_strategy(
             continue;
         };
         let p = predict(strategy, inputs, hw, &geometry, ctx.device);
+        let p = cal.map_or(p, |c| c.apply(p));
         if best
             .as_ref()
             .is_none_or(|(_, b)| p.total() < b.total())
@@ -71,6 +101,18 @@ pub fn sweep_candidates(
     inputs: &ModelInputs,
     hw: &MeasuredParams,
 ) -> Vec<CandidateEval> {
+    sweep_candidates_with(ctx, inputs, hw, None)
+}
+
+/// [`sweep_candidates`] under an optional calibrator, so audited predictions
+/// match what the (possibly cached) selection actually compared.
+#[must_use]
+pub fn sweep_candidates_with(
+    ctx: &LaunchContext<'_>,
+    inputs: &ModelInputs,
+    hw: &MeasuredParams,
+    cal: Option<&Calibrator>,
+) -> Vec<CandidateEval> {
     let mut out = Vec::with_capacity(Strategy::ALL.len() * THREAD_CANDIDATES.len());
     for strategy in Strategy::ALL {
         for &threads in &THREAD_CANDIDATES {
@@ -82,7 +124,10 @@ pub fn sweep_candidates(
                     ..*ctx
                 };
                 match strategy::geometry(strategy, &candidate) {
-                    Some(geometry) => Ok(predict(strategy, inputs, hw, &geometry, ctx.device)),
+                    Some(geometry) => {
+                        let p = predict(strategy, inputs, hw, &geometry, ctx.device);
+                        Ok(cal.map_or(p, |c| c.apply(p)))
+                    }
                     None => Err("geometry infeasible"),
                 }
             };
@@ -100,23 +145,230 @@ pub fn tune_all(
     inputs: &ModelInputs,
     hw: &MeasuredParams,
 ) -> Vec<(Strategy, usize, Prediction)> {
+    tune_all_with(ctx, inputs, hw, None)
+}
+
+/// [`tune_all`] under an optional calibrator.
+#[must_use]
+pub fn tune_all_with(
+    ctx: &LaunchContext<'_>,
+    inputs: &ModelInputs,
+    hw: &MeasuredParams,
+    cal: Option<&Calibrator>,
+) -> Vec<(Strategy, usize, Prediction)> {
     let mut out: Vec<(Strategy, usize, Prediction)> = Strategy::ALL
         .into_iter()
-        .filter_map(|s| tune_strategy(s, ctx, inputs, hw).map(|(t, p)| (s, t, p)))
+        .filter_map(|s| tune_strategy_with(s, ctx, inputs, hw, cal).map(|(t, p)| (s, t, p)))
         .collect();
-    out.sort_by(|a, b| {
-        a.2.total()
-            .partial_cmp(&b.2.total())
-            .expect("finite predictions")
-    });
+    // `total_cmp` keeps the sort total even when a prediction goes
+    // non-finite (a poisoned measured constant, a fitted scale gone wrong):
+    // NaN sorts last instead of panicking the engine mid-batch.
+    out.sort_by(|a, b| a.2.total().total_cmp(&b.2.total()));
     out
+}
+
+/// Process-wide tuning-cache override: 0 = unset, 1 = forced off,
+/// 2 = forced on (mirrors `gpu_sim::memo::set_sim_memo`).
+static TUNE_CACHE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides whether engines consult the tuning-decision cache,
+/// process-wide. `None` restores the default resolution
+/// (`TAHOE_TUNE_CACHE`, then on). Used by the determinism tests and the
+/// `host_perf` benchmark to time cold-vs-warm tuning in one process.
+pub fn set_tune_cache(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    TUNE_CACHE_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Whether engines consult the tuning-decision cache. Resolution order: the
+/// [`set_tune_cache`] override, then `TAHOE_TUNE_CACHE`, then on. Turning
+/// the cache off must never change selections — only the
+/// `tuning_cache_hits`/`tuning_cache_misses` counters, the decision records'
+/// `cache_hit` flags, and the wall-clock tune host span may differ.
+#[must_use]
+pub fn tune_cache_enabled() -> bool {
+    match TUNE_CACHE_OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => env_tune_cache().unwrap_or(true),
+    }
+}
+
+/// `TAHOE_TUNE_CACHE`, when set to a recognized value. Invalid values warn
+/// once to stderr and fall through to the default (on).
+fn env_tune_cache() -> Option<bool> {
+    let raw = std::env::var("TAHOE_TUNE_CACHE").ok()?;
+    match parse_cache_env(&raw) {
+        Ok(v) => v,
+        Err(()) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid TAHOE_TUNE_CACHE={raw:?}: \
+                     expected 0/1, true/false, or on/off; the cache stays on"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Parses a `TAHOE_TUNE_CACHE` value: `Ok(Some(_))` for a recognized on/off
+/// spelling, `Ok(None)` for empty/whitespace (unset), `Err(())` otherwise.
+fn parse_cache_env(raw: &str) -> Result<Option<bool>, ()> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Ok(None);
+    }
+    if t == "0" || t.eq_ignore_ascii_case("false") || t.eq_ignore_ascii_case("off") {
+        return Ok(Some(false));
+    }
+    if t == "1" || t.eq_ignore_ascii_case("true") || t.eq_ignore_ascii_case("on") {
+        return Ok(Some(true));
+    }
+    Err(())
+}
+
+/// Fingerprints everything `tune_all` depends on for one engine batch.
+///
+/// Key material, in stream order:
+///
+/// - `DeviceForest::encoding_key` — node encoding marker, node bytes,
+///   packed/child widths, every lane's entry width and base alignment. A
+///   classic and a packed image of the same forest must never share an
+///   entry.
+/// - the eight [`ModelInputs`] fields by exact f64 bit pattern — batch
+///   shape (`n_batch`, `s_sample`) and the forest statistics the model
+///   consumes. A batch one sample larger is a different key.
+/// - every [`DeviceSpec`] field selection reads: name bytes, structural
+///   limits, and the timing constants by exact bit pattern.
+/// - the simulation [`Detail`] (a variant marker plus the sample cap).
+/// - the calibration generation — recalibration invalidates by key, never
+///   by mutating cached values, which is what keeps warm and cold runs
+///   bit-identical (DESIGN.md §2.16).
+///
+/// Per-tree layout beyond these statistics is *not* keyed: the engine clears
+/// its cache whenever it rebuilds the device forest (`Engine::convert`), so
+/// within one cache lifetime the forest image is fixed.
+#[must_use]
+pub fn cache_key(
+    forest: &DeviceForest,
+    device: &DeviceSpec,
+    inputs: &ModelInputs,
+    detail: Detail,
+    calibration_generation: u64,
+) -> BlockKey {
+    let mut h = KeyHasher::new();
+    h.write_u64(forest.encoding_key(device.transaction_bytes));
+    for v in [
+        inputs.s_sample,
+        inputs.n_batch,
+        inputs.d_tree,
+        inputs.n_trees,
+        inputs.s_node,
+        inputs.s_att,
+        inputs.n_nodes,
+        inputs.s_forest,
+    ] {
+        h.write_u64(v.to_bits());
+    }
+    h.write_u64(device.name.len() as u64);
+    for b in device.name.bytes() {
+        h.write_u64(u64::from(b));
+    }
+    for v in [
+        u64::from(device.num_sms),
+        u64::from(device.warp_size),
+        u64::from(device.max_threads_per_block),
+        u64::from(device.max_threads_per_sm),
+        u64::from(device.max_blocks_per_sm),
+        device.shared_mem_per_block as u64,
+        device.shared_mem_per_sm as u64,
+        device.transaction_bytes,
+        device.dram_bytes,
+    ] {
+        h.write_u64(v);
+    }
+    for v in [
+        device.gmem_bytes_per_ns,
+        device.smem_bytes_per_ns,
+        device.gmem_latency_ns,
+        device.mlp,
+        device.smem_latency_ns,
+        device.node_eval_ns,
+        device.block_reduce_ns_per_thread,
+        device.block_reduce_base_ns,
+        device.global_reduce_ns_per_block,
+        device.global_reduce_base_ns,
+    ] {
+        h.write_u64(v.to_bits());
+    }
+    match detail {
+        Detail::Full => h.write_u64(0),
+        Detail::Sampled(n) => {
+            h.write_u64(1);
+            h.write_u64(n as u64);
+        }
+    }
+    h.write_u64(calibration_generation);
+    h.finish()
+}
+
+/// Memoized `tune_all` results, one entry per distinct [`cache_key`].
+///
+/// Owned per engine (never shared across devices — replicas get a fresh
+/// cache because their downclocked specs differ), consulted and filled only
+/// on the engine caller thread, and cleared whenever the device forest is
+/// rebuilt or the calibration generation bumps.
+#[derive(Clone, Debug, Default)]
+pub struct TuningCache {
+    entries: HashMap<BlockKey, Vec<(Strategy, usize, Prediction)>>,
+}
+
+impl TuningCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached plan list for `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &BlockKey) -> Option<&Vec<(Strategy, usize, Prediction)>> {
+        self.entries.get(key)
+    }
+
+    /// Stores a plan list under `key`.
+    pub fn insert(&mut self, key: BlockKey, tuned: Vec<(Strategy, usize, Prediction)>) {
+        self.entries.insert(key, tuned);
+    }
+
+    /// Drops every entry (forest rebuilt, or calibration generation bumped).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of distinct cached shapes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::strategy::testutil::{context, Fixture};
-    use tahoe_gpu_sim::kernel::Detail;
     use tahoe_gpu_sim::measure;
 
     fn setup() -> (Fixture, ModelInputs, MeasuredParams) {
@@ -167,6 +419,61 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_candidate_does_not_panic_tune_all() {
+        // A NaN measured constant poisons every prediction that touches it.
+        // Selection must survive: `total_cmp` sorts NaN totals last, so the
+        // engine keeps running on whichever candidates stayed finite.
+        let (fx, inputs, hw) = setup();
+        let ctx = context(&fx, Detail::Sampled(1));
+        let poisoned = MeasuredParams {
+            lat_gmem: f64::NAN,
+            ..hw
+        };
+        let tuned = tune_all(&ctx, &inputs, &poisoned);
+        assert!(!tuned.is_empty(), "the sweep itself must not panic");
+        // NaN totals, if any, are ordered after every finite total.
+        let first_nan = tuned
+            .iter()
+            .position(|(_, _, p)| p.total().is_nan())
+            .unwrap_or(tuned.len());
+        assert!(
+            tuned[first_nan..].iter().all(|(_, _, p)| p.total().is_nan()),
+            "NaN predictions sort last"
+        );
+        // The ranked sweep in perfmodel shares the fix.
+        let ranked = crate::perfmodel::rank(&ctx, &inputs, &poisoned);
+        assert!(!ranked.is_empty());
+    }
+
+    #[test]
+    fn calibrated_tuning_scales_predictions() {
+        use crate::perfmodel::calibrate::RECALIBRATE_INTERVAL;
+        let (fx, inputs, hw) = setup();
+        let ctx = context(&fx, Detail::Sampled(1));
+        let baseline = tune_all(&ctx, &inputs, &hw);
+        let mut cal = Calibrator::new();
+        for _ in 0..RECALIBRATE_INTERVAL {
+            cal.observe(Strategy::Direct, 100.0, 300.0);
+        }
+        assert!(cal.maybe_recalibrate());
+        let calibrated = tune_all_with(&ctx, &inputs, &hw, Some(&cal));
+        let raw_direct = baseline
+            .iter()
+            .find(|(s, _, _)| *s == Strategy::Direct)
+            .map(|(_, _, p)| p.total());
+        let cal_direct = calibrated
+            .iter()
+            .find(|(s, _, _)| *s == Strategy::Direct)
+            .map(|(_, _, p)| p.total());
+        if let (Some(raw), Some(scaled)) = (raw_direct, cal_direct) {
+            assert!(
+                (scaled - raw * cal.scale(Strategy::Direct)).abs() <= raw * 1e-9,
+                "calibrated total is the raw total times the fitted scale"
+            );
+        }
+    }
+
+    #[test]
     fn sweep_covers_the_full_ladder_and_agrees_with_tune_strategy() {
         let (fx, inputs, hw) = setup();
         let ctx = context(&fx, Detail::Sampled(1));
@@ -177,7 +484,7 @@ mod tests {
                 .iter()
                 .filter(|c| c.strategy == s)
                 .filter_map(|c| c.outcome.as_ref().ok().map(|p| (c.block_threads, p)))
-                .min_by(|a, b| a.1.total().partial_cmp(&b.1.total()).unwrap());
+                .min_by(|a, b| a.1.total().total_cmp(&b.1.total()));
             match tune_strategy(s, &ctx, &inputs, &hw) {
                 Some((threads, p)) => {
                     let (bt, bp) = best.expect("tuned strategy must have feasible candidates");
@@ -218,5 +525,64 @@ mod tests {
         tiny.shared_mem_per_sm = 64;
         ctx.device = &tiny;
         assert!(tune_strategy(Strategy::SharedForest, &ctx, &inputs, &hw).is_none());
+    }
+
+    #[test]
+    fn cache_key_discriminates_its_material() {
+        let (fx, inputs, _) = setup();
+        let detail = Detail::Sampled(4);
+        let base = cache_key(&fx.device_forest, &fx.device, &inputs, detail, 0);
+        // Same material, same key — the cache can actually hit.
+        assert_eq!(
+            base,
+            cache_key(&fx.device_forest, &fx.device, &inputs, detail, 0)
+        );
+        // A batch one sample larger must miss.
+        let bigger = ModelInputs {
+            n_batch: inputs.n_batch + 1.0,
+            ..inputs
+        };
+        assert_ne!(
+            base,
+            cache_key(&fx.device_forest, &fx.device, &bigger, detail, 0)
+        );
+        // A different node encoding of the same forest must miss.
+        let packed = Fixture::trained_packed("letter");
+        let packed_inputs =
+            ModelInputs::gather(&packed.device_forest, &packed.forest.stats(), &packed.samples);
+        assert_ne!(
+            base,
+            cache_key(&packed.device_forest, &packed.device, &packed_inputs, detail, 0)
+        );
+        // A calibration-generation bump must miss (that is the invalidation).
+        assert_ne!(
+            base,
+            cache_key(&fx.device_forest, &fx.device, &inputs, detail, 1)
+        );
+        // A different detail or device must miss.
+        assert_ne!(
+            base,
+            cache_key(&fx.device_forest, &fx.device, &inputs, Detail::Full, 0)
+        );
+        assert_ne!(
+            base,
+            cache_key(
+                &fx.device_forest,
+                &DeviceSpec::tesla_v100(),
+                &inputs,
+                detail,
+                0
+            )
+        );
+    }
+
+    #[test]
+    fn tune_cache_env_parsing() {
+        assert_eq!(parse_cache_env(""), Ok(None));
+        assert_eq!(parse_cache_env("0"), Ok(Some(false)));
+        assert_eq!(parse_cache_env("off"), Ok(Some(false)));
+        assert_eq!(parse_cache_env("1"), Ok(Some(true)));
+        assert_eq!(parse_cache_env(" ON "), Ok(Some(true)));
+        assert_eq!(parse_cache_env("yes"), Err(()));
     }
 }

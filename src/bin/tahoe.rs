@@ -27,7 +27,7 @@ use tahoe_repro::datasets::{
 use tahoe_repro::engine::cluster::GpuCluster;
 use tahoe_repro::engine::engine::{Engine, EngineOptions, NodeEncodingChoice};
 use tahoe_repro::engine::profile::{HistogramExport, ProfilesExport};
-use tahoe_repro::engine::telemetry::decision::DecisionsExport;
+use tahoe_repro::engine::telemetry::decision::{DecisionRecord, DecisionsExport};
 use tahoe_repro::engine::serving::{BatchingPolicy, ClusterServingSim};
 use tahoe_repro::engine::strategy::Strategy;
 use tahoe_repro::engine::telemetry::TelemetrySink;
@@ -115,6 +115,9 @@ common flags:
                            explain: the export file to pretty-print
   --slo-ns NS              serve: per-request latency deadline; tags each
                            request and reports windowed SLO attainment
+  --calibrate              infer/bench/serve: fold realized kernel times back
+                           into the performance model (drift-driven
+                           recalibration; off by default)
   --top N                  profile: kernels to show, by simulated time (10);
                            explain: decisions to show, in batch order (10)
 ";
@@ -145,6 +148,7 @@ struct Flags {
     timeseries: Option<PathBuf>,
     decisions: Option<PathBuf>,
     slo_ns: Option<f64>,
+    calibrate: bool,
     top: Option<usize>,
 }
 
@@ -175,6 +179,7 @@ impl Flags {
             timeseries: None,
             decisions: None,
             slo_ns: None,
+            calibrate: false,
             top: None,
         };
         let mut it = args.iter();
@@ -239,6 +244,7 @@ impl Flags {
                     }
                     f.slo_ns = Some(ns);
                 }
+                "--calibrate" => f.calibrate = true,
                 "--top" => f.top = Some(parse_num(&value()?, "--top")?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -481,6 +487,7 @@ fn cmd_infer(flags: &Flags) -> Result<(), String> {
     let sink = flags.sink();
     let options = EngineOptions {
         node_encoding: flags.node_encoding()?,
+        calibration: flags.calibrate,
         ..EngineOptions::tahoe()
     };
     let mut engine = Engine::with_telemetry(device, forest, options, sink.clone());
@@ -527,6 +534,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
         EngineOptions {
             functional: false,
             node_encoding: flags.node_encoding()?,
+            calibration: flags.calibrate,
             ..EngineOptions::tahoe()
         },
         sink.clone(),
@@ -567,6 +575,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let sink = flags.sink();
     let options = EngineOptions {
         node_encoding: flags.node_encoding()?,
+        calibration: flags.calibrate,
         ..EngineOptions::tahoe()
     };
     let mut cluster = GpuCluster::with_telemetry(devices, &forest, options, sink.clone());
@@ -763,20 +772,24 @@ fn print_decision_report(export: &DecisionsExport, top: usize) {
             d.device,
             d.n_samples
         );
+        let cached = if d.cache_hit { "  [cache hit]" } else { "" };
         println!(
-            "    chose '{}' @ {} threads/block  predicted {:.1} us  simulated {:.1} us  drift {:+.1}%",
+            "    chose '{}' @ {} threads/block  predicted {:.1} us  simulated {:.1} us  drift {:+.1}%  gen {}{cached}",
             d.chosen_strategy,
             d.chosen_block_threads,
             d.predicted_ns / 1e3,
             d.simulated_ns / 1e3,
-            100.0 * d.relative_error
+            100.0 * d.relative_error,
+            d.calibration_generation
         );
         let mut feasible: Vec<_> =
             d.candidates.iter().filter(|c| c.rejection.is_none()).collect();
+        // A rejected candidate carries no prediction (`None`); feasible ones
+        // always do, so missing values can only sort last.
         feasible.sort_by(|a, b| {
             a.predicted_ns
-                .partial_cmp(&b.predicted_ns)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .unwrap_or(f64::INFINITY)
+                .total_cmp(&b.predicted_ns.unwrap_or(f64::INFINITY))
         });
         for (rank, c) in feasible.iter().take(5).enumerate() {
             let marker = if c.strategy == d.chosen_strategy
@@ -791,7 +804,7 @@ fn print_decision_report(export: &DecisionsExport, top: usize) {
                 rank + 1,
                 c.strategy,
                 c.block_threads,
-                c.predicted_ns / 1e3
+                c.predicted_ns.unwrap_or(f64::NAN) / 1e3
             );
         }
         let rejected = d.candidates.len() - feasible.len();
@@ -810,6 +823,32 @@ fn print_decision_report(export: &DecisionsExport, top: usize) {
     }
     if export.decisions.len() > top {
         println!("... and {} more decisions", export.decisions.len() - top);
+    }
+    if !export.decisions.is_empty() {
+        let hits = export.decisions.iter().filter(|d| d.cache_hit).count();
+        println!(
+            "tuning cache: {} of {} decisions served from cache ({:.1}%)",
+            hits,
+            export.decisions.len(),
+            100.0 * hits as f64 / export.decisions.len() as f64
+        );
+        let mean_abs = |records: &[&DecisionRecord]| {
+            records.iter().map(|d| d.relative_error.abs()).sum::<f64>()
+                / records.len() as f64
+        };
+        let raw: Vec<_> =
+            export.decisions.iter().filter(|d| d.calibration_generation == 0).collect();
+        let calibrated: Vec<_> =
+            export.decisions.iter().filter(|d| d.calibration_generation > 0).collect();
+        if !calibrated.is_empty() && !raw.is_empty() {
+            println!(
+                "calibration: mean |drift| {:.2}% uncalibrated (gen 0, {} decisions) -> {:.2}% calibrated (gen > 0, {} decisions)",
+                100.0 * mean_abs(&raw),
+                raw.len(),
+                100.0 * mean_abs(&calibrated),
+                calibrated.len()
+            );
+        }
     }
     if export.requests.is_empty() {
         println!("request paths: no records (infer/bench exports have none)");

@@ -67,6 +67,8 @@ fn decisions_export_matches_the_golden_schema() {
             "predicted_ns",
             "simulated_ns",
             "relative_error",
+            "calibration_generation",
+            "cache_hit",
         ] {
             assert!(!d[key].is_null(), "decision carries '{key}': {d:?}");
         }
@@ -77,9 +79,16 @@ fn decisions_export_matches_the_golden_schema() {
             "the full tuning ladder is audited"
         );
         for c in candidates {
-            for key in ["strategy", "block_threads", "predicted_ns"] {
+            for key in ["strategy", "block_threads"] {
                 assert!(!c[key].is_null(), "candidate carries '{key}': {c:?}");
             }
+            // A rejection is not a zero-cost prediction: `predicted_ns` is
+            // null exactly when the candidate was rejected before costing.
+            assert_eq!(
+                c["predicted_ns"].is_null(),
+                !c["rejection"].is_null(),
+                "predicted_ns is null iff the candidate was rejected: {c:?}"
+            );
         }
         // The chosen plan must appear in the ladder as a feasible candidate
         // whose predicted cost is exactly what the record reports.
